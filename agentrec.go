@@ -1,0 +1,260 @@
+// Package agentrec is an agent-based consumer recommendation mechanism for
+// electronic marketplaces: a Go reproduction of Wang, Hwang and Wang,
+// "An Agent-Based Consumer Recommendation Mechanism" (2004).
+//
+// The library boots a complete agent-based e-commerce platform in process:
+// a coordinator, one or more marketplaces offering query, negotiation, and
+// auction services, seller-feed integration, and a Buyer Agent Server — the
+// recommendation mechanism — where a Buyer Recommend Agent represents each
+// online consumer and Mobile Buyer Agents physically migrate between
+// marketplace hosts to shop. Consumer behaviour feeds hierarchical interest
+// profiles (Fig 4.4 of the paper); profile similarity with a
+// preference-value discard gate (Fig 4.5) drives collaborative filtering,
+// combined with content-based information filtering.
+//
+// # Quickstart
+//
+//	p, err := agentrec.New(agentrec.WithMarketplaces(2))
+//	// handle err, defer p.Close()
+//	p.MustStock(0, &agentrec.Product{ID: "lap1", Category: "laptop", ...})
+//	alice, err := p.NewConsumer(ctx, "alice")
+//	res, err := alice.Query(ctx, agentrec.Query{Category: "laptop"})
+//	// res.Recommendations holds the mechanism's suggestions
+//
+// See examples/ for runnable scenarios and DESIGN.md for the architecture.
+package agentrec
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"agentrec/internal/buyerserver"
+	"agentrec/internal/catalog"
+	"agentrec/internal/platform"
+	"agentrec/internal/recommend"
+	"agentrec/internal/trace"
+)
+
+// Re-exported core types; the internal packages define them once.
+type (
+	// Product is one piece of merchandise. Prices are integer cents.
+	Product = catalog.Product
+	// Query is a merchandise search request.
+	Query = catalog.Query
+	// Match is one query hit with its relevance score.
+	Match = catalog.Match
+	// Rec is one recommended product.
+	Rec = recommend.Rec
+	// TaskResult is the outcome of a shopping task: per-marketplace
+	// results, the completed sale if any, and recommendation information.
+	TaskResult = buyerserver.TaskResult
+	// TaskSpec describes a custom shopping task for RunTask.
+	TaskSpec = buyerserver.TaskSpec
+)
+
+// Task kinds for TaskSpec.
+const (
+	TaskQuery   = buyerserver.TaskQuery
+	TaskBuy     = buyerserver.TaskBuy
+	TaskAuction = buyerserver.TaskAuction
+)
+
+// Platform is a running instance of the full agent-based e-commerce
+// architecture. Construct with New; always Close it.
+type Platform struct {
+	inner  *platform.Platform
+	tracer *trace.Recorder
+}
+
+// Option configures New.
+type Option func(*platform.Config)
+
+// WithMarketplaces sets the number of marketplaces (default 2).
+func WithMarketplaces(n int) Option {
+	return func(c *platform.Config) { c.Marketplaces = n }
+}
+
+// WithProducts stocks initial merchandise, distributed round-robin across
+// the marketplaces.
+func WithProducts(products ...*Product) Option {
+	return func(c *platform.Config) { c.Products = append(c.Products, products...) }
+}
+
+// WithTracer records every workflow step (the numbered arrows of the
+// paper's Figs 4.1–4.3) into r for inspection.
+func WithTracer(r *trace.Recorder) Option {
+	return func(c *platform.Config) { c.Tracer = r }
+}
+
+// WithEngineOptions tunes the recommendation engine (neighbourhood size,
+// discard tolerance, hybrid weight).
+func WithEngineOptions(opts ...recommend.Option) Option {
+	return func(c *platform.Config) { c.EngineOpts = append(c.EngineOpts, opts...) }
+}
+
+// Engine re-exports; see package recommend for the full set.
+var (
+	// WithNeighbors sets the collaborative-filtering neighbourhood size.
+	WithNeighbors = recommend.WithNeighbors
+	// WithTolerance sets the Fig 4.5 preference-value discard tolerance.
+	WithTolerance = recommend.WithTolerance
+	// WithHybridWeight sets the CF share of the hybrid mix.
+	WithHybridWeight = recommend.WithHybridWeight
+)
+
+// New boots a platform.
+func New(opts ...Option) (*Platform, error) {
+	var cfg platform.Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	tracer := cfg.Tracer
+	inner, err := platform.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Platform{inner: inner, tracer: tracer}, nil
+}
+
+// Close shuts the platform down, waiting for every agent goroutine.
+func (p *Platform) Close() error { return p.inner.Close() }
+
+// Internal exposes the composition root for in-module tools (examples,
+// benchmarks, cmd/recbench) that seed communities or inspect servers
+// directly. It is an escape hatch, not API.
+func (p *Platform) Internal() *platform.Platform { return p.inner }
+
+// Stock adds a product to marketplace i (and the integrated catalog the
+// recommender sees).
+func (p *Platform) Stock(i int, prod *Product) error { return p.inner.Stock(i, prod) }
+
+// MustStock is Stock for program setup: it panics on error.
+func (p *Platform) MustStock(i int, prod *Product) {
+	if err := p.inner.Stock(i, prod); err != nil {
+		panic(fmt.Sprintf("agentrec: stocking %s: %v", prod.ID, err))
+	}
+}
+
+// IntegrateJSONFeed ingests a seller's JSON product feed into marketplace i
+// through the seller-server integration.
+func (p *Platform) IntegrateJSONFeed(i int, r io.Reader, sellerID string) (int, error) {
+	return p.inner.IntegrateJSONFeed(i, r, sellerID)
+}
+
+// IntegrateCSVFeed ingests a seller's legacy CSV feed into marketplace i.
+func (p *Platform) IntegrateCSVFeed(i int, r io.Reader, sellerID string) (int, error) {
+	return p.inner.IntegrateCSVFeed(i, r, sellerID)
+}
+
+// OpenAuction opens an English auction for one unit of productID on
+// marketplace i, returning the auction id consumers bid on.
+func (p *Platform) OpenAuction(i int, productID string, reserveCents int64) (string, error) {
+	if i < 0 || i >= len(p.inner.Markets) {
+		return "", fmt.Errorf("agentrec: no marketplace %d", i)
+	}
+	return p.inner.Markets[i].AuctionOpen(productID, reserveCents)
+}
+
+// CloseAuction ends an auction; the high bidder, if any, wins.
+func (p *Platform) CloseAuction(i int, auctionID string) (winner string, priceCents int64, sold bool, err error) {
+	if i < 0 || i >= len(p.inner.Markets) {
+		return "", 0, false, fmt.Errorf("agentrec: no marketplace %d", i)
+	}
+	st, err := p.inner.Markets[i].AuctionClose(auctionID)
+	if err != nil {
+		return "", 0, false, err
+	}
+	if !st.Sold {
+		return "", 0, false, nil
+	}
+	return st.Sale.BuyerID, st.Sale.PriceCents, true, nil
+}
+
+// MarketName returns the host name of marketplace i, used to address bids.
+func (p *Platform) MarketName(i int) string {
+	if i < 0 || i >= len(p.inner.Markets) {
+		return ""
+	}
+	return p.inner.Markets[i].Host().Name()
+}
+
+// HTTPHandler exposes the buyer agent server's web interface (the paper's
+// HttpA): registration, login, shopping tasks and recommendations as JSON
+// over HTTP.
+func (p *Platform) HTTPHandler() http.Handler { return p.inner.Buyer().HTTPHandler() }
+
+// Hottest returns the trending merchandise of the window ending now — the
+// "weekly hottest merchandise" of the paper's future work (§5.2 item 2).
+func (p *Platform) Hottest(now time.Time, window time.Duration, n int) []recommend.TrendEntry {
+	return p.inner.Engine.Trending(now, window, n)
+}
+
+// TiedSales returns products frequently bought together with productID —
+// the "tied-sale information" of §5.2 item 2.
+func (p *Platform) TiedSales(productID string, minSupport, n int) []recommend.TiedSale {
+	return p.inner.Engine.TiedSales(productID, minSupport, n)
+}
+
+// NewConsumer registers userID and logs them in, returning their handle.
+func (p *Platform) NewConsumer(ctx context.Context, userID string) (*Consumer, error) {
+	b := p.inner.Buyer()
+	if err := b.Register(ctx, userID); err != nil {
+		return nil, err
+	}
+	if _, err := b.Login(ctx, userID); err != nil {
+		return nil, err
+	}
+	return &Consumer{platform: p, id: userID}, nil
+}
+
+// Consumer is one logged-in shopper, served by their Buyer Recommend Agent.
+type Consumer struct {
+	platform *Platform
+	id       string
+}
+
+// ID returns the consumer's identifier.
+func (c *Consumer) ID() string { return c.id }
+
+// Query dispatches a Mobile Buyer Agent across every marketplace to find
+// merchandise, returning matches and recommendation information (Fig 4.2).
+func (c *Consumer) Query(ctx context.Context, q Query) (TaskResult, error) {
+	return c.platform.inner.Buyer().Query(ctx, c.id, q)
+}
+
+// Buy purchases productID at the first marketplace within budget
+// (0 = list price anywhere); with negotiate set the agent haggles
+// (Fig 4.3).
+func (c *Consumer) Buy(ctx context.Context, productID string, budgetCents int64, negotiate bool) (TaskResult, error) {
+	return c.platform.inner.Buyer().Buy(ctx, c.id, productID, budgetCents, negotiate)
+}
+
+// Bid sends the consumer's agent to place one bid on an auction.
+func (c *Consumer) Bid(ctx context.Context, marketName, auctionID string, budgetCents int64) (TaskResult, error) {
+	return c.platform.inner.Buyer().Bid(ctx, c.id, marketName, auctionID, budgetCents)
+}
+
+// RunTask executes a custom task specification.
+func (c *Consumer) RunTask(ctx context.Context, spec TaskSpec) (TaskResult, error) {
+	return c.platform.inner.Buyer().RunTask(ctx, c.id, spec)
+}
+
+// Recommendations returns personalized suggestions outside any task.
+func (c *Consumer) Recommendations(category string, n int) ([]Rec, error) {
+	return c.platform.inner.Buyer().Recommendations(c.id, category, n)
+}
+
+// Logout takes the consumer offline; their agent terminates, but tasks in
+// flight still complete and wait in the inbox.
+func (c *Consumer) Logout(ctx context.Context) error {
+	return c.platform.inner.Buyer().Logout(ctx, c.id)
+}
+
+// Login brings the consumer back online, delivering results that completed
+// while they were away.
+func (c *Consumer) Login(ctx context.Context) ([]TaskResult, error) {
+	return c.platform.inner.Buyer().Login(ctx, c.id)
+}

@@ -1,0 +1,23 @@
+package agentrec
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"agentrec/internal/aglet"
+)
+
+func marshalBench(kind string, v any) (aglet.Message, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return aglet.Message{}, fmt.Errorf("bench: encoding %s: %w", kind, err)
+	}
+	return aglet.Message{Kind: kind, Data: data}, nil
+}
+
+func unmarshalBench(data []byte, v any) error {
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("bench: decoding: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,196 @@
+// platformd runs the full agent-based e-commerce platform of Fig 3.1 over
+// real TCP sockets: every server (coordinator, marketplaces, buyer agent
+// server) is its own aglet host with an ATP endpoint, agents migrate
+// between them as signed network frames, and the consumer-facing web
+// interface (HttpA) listens on -http.
+//
+// Usage:
+//
+//	platformd -markets=2 -http=127.0.0.1:8080
+//
+// then, from another terminal:
+//
+//	curl -XPOST localhost:8080/users  -d '{"user_id":"alice"}'
+//	curl -XPOST localhost:8080/login  -d '{"user_id":"alice"}'
+//	curl -XPOST localhost:8080/tasks  -d '{"user_id":"alice","spec":{"kind":"query","query":{"category":"laptop"}}}'
+//	curl      'localhost:8080/recommendations?user=alice&category=laptop'
+//
+// All hosts share one HMAC platform key (-key), matching the paper's
+// closed-domain security model.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"agentrec/internal/aglet"
+	"agentrec/internal/atp"
+	"agentrec/internal/buyerserver"
+	"agentrec/internal/catalog"
+	"agentrec/internal/coordinator"
+	"agentrec/internal/marketplace"
+	"agentrec/internal/recommend"
+	"agentrec/internal/security"
+	"agentrec/internal/trace"
+)
+
+func main() {
+	var (
+		markets   = flag.Int("markets", 2, "number of marketplace servers")
+		coordAddr = flag.String("coord", "127.0.0.1:7001", "coordinator ATP address")
+		marketIP  = flag.String("market-ip", "127.0.0.1", "marketplace bind IP")
+		basePort  = flag.Int("market-base-port", 7101, "first marketplace ATP port")
+		buyerAddr = flag.String("buyer", "127.0.0.1:7201", "buyer agent server ATP address")
+		httpAddr  = flag.String("http", "127.0.0.1:8080", "consumer web interface address")
+		key       = flag.String("key", "agentrec-demo-platform-key", "shared HMAC platform key")
+		verbose   = flag.Bool("trace", false, "print every workflow step")
+	)
+	flag.Parse()
+
+	if err := run(*markets, *coordAddr, *marketIP, *basePort, *buyerAddr, *httpAddr, *key, *verbose); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(markets int, coordAddr, marketIP string, basePort int, buyerAddr, httpAddr, key string, verbose bool) error {
+	signer := security.NewSigner([]byte(key))
+	client := atp.NewClient(signer)
+	tracer := trace.New()
+
+	var servers []*atp.Server
+	var hosts []*aglet.Host
+	defer func() {
+		for i := len(servers) - 1; i >= 0; i-- {
+			servers[i].Close()
+		}
+		for i := len(hosts) - 1; i >= 0; i-- {
+			hosts[i].Close()
+		}
+	}()
+	up := func(addr string, reg *aglet.Registry) (*aglet.Host, error) {
+		host := aglet.NewHost(addr, reg, aglet.WithTransport(client))
+		srv, err := atp.Serve(host, signer, addr)
+		if err != nil {
+			return nil, fmt.Errorf("platformd: serving %s: %w", addr, err)
+		}
+		hosts = append(hosts, host)
+		servers = append(servers, srv)
+		return host, nil
+	}
+
+	// Coordinator.
+	coordReg := aglet.NewRegistry()
+	coordHost, err := up(coordAddr, coordReg)
+	if err != nil {
+		return err
+	}
+	coord, err := coordinator.New(coordHost, coordReg, coordinator.WithTracer(tracer))
+	if err != nil {
+		return err
+	}
+	log.Printf("coordinator up at %s", coordAddr)
+
+	// Marketplaces with a demo catalog.
+	union := catalog.New()
+	var marketAddrs []string
+	for i := 0; i < markets; i++ {
+		addr := fmt.Sprintf("%s:%d", marketIP, basePort+i)
+		reg := aglet.NewRegistry()
+		buyerserver.RegisterMBAType(reg)
+		host, err := up(addr, reg)
+		if err != nil {
+			return err
+		}
+		cat := catalog.New()
+		for _, p := range demoProducts(i) {
+			if err := cat.Add(p); err != nil {
+				return err
+			}
+			if err := union.Upsert(p); err != nil {
+				return err
+			}
+		}
+		if _, err := marketplace.NewServer(host, cat, reg); err != nil {
+			return err
+		}
+		if err := coord.Register(coordinator.Registration{
+			Kind: coordinator.KindMarketplace, Name: addr, Addr: addr,
+		}); err != nil {
+			return err
+		}
+		marketAddrs = append(marketAddrs, addr)
+		log.Printf("marketplace %d up at %s (%d products)", i+1, addr, cat.Len())
+	}
+
+	// Buyer agent server, admitted through the Fig 4.1 workflow over TCP.
+	buyerReg := aglet.NewRegistry()
+	buyerHost, err := up(buyerAddr, buyerReg)
+	if err != nil {
+		return err
+	}
+	engine := recommend.NewEngine(union, recommend.WithNeighbors(10))
+	caProxy := buyerHost.RemoteProxy(coordAddr, coordinator.CAID)
+	buyer, err := buyerserver.New(buyerHost, buyerReg, engine, caProxy,
+		buyerserver.WithTracer(tracer),
+		buyerserver.WithMarkets(marketAddrs...),
+	)
+	if err != nil {
+		return err
+	}
+	defer buyer.Close()
+	log.Printf("buyer agent server up at %s (BSMA arrived by dispatch)", buyerAddr)
+
+	if verbose {
+		go watchTrace(tracer)
+	}
+
+	httpServer := &http.Server{Addr: httpAddr, Handler: buyer.HTTPHandler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpServer.ListenAndServe() }()
+	log.Printf("consumer web interface at http://%s", httpAddr)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-stop:
+		log.Printf("received %v, shutting down", sig)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return httpServer.Shutdown(ctx)
+}
+
+// watchTrace tails the workflow recorder, printing each step once.
+func watchTrace(tracer *trace.Recorder) {
+	seen := 0
+	for {
+		events := tracer.Events()
+		for ; seen < len(events); seen++ {
+			log.Printf("step %s", events[seen])
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// demoProducts stocks marketplace i with a small assortment; prices vary
+// per market so price hunting is visible.
+func demoProducts(i int) []*catalog.Product {
+	bump := int64(i * 2500)
+	return []*catalog.Product{
+		{ID: "lap-ultra", Name: "UltraBook 13", Category: "laptop",
+			Terms: map[string]float64{"ssd": 1, "light": 0.9}, PriceCents: 129900 + bump, SellerID: "acme", Stock: 10},
+		{ID: "lap-game", Name: "GameBook 17", Category: "laptop",
+			Terms: map[string]float64{"gpu": 1, "ssd": 0.5}, PriceCents: 219900 - bump, SellerID: "acme", Stock: 10},
+		{ID: "cam-zoom", Name: "ZoomMaster", Category: "camera",
+			Terms: map[string]float64{"zoom": 1, "lens": 0.7}, PriceCents: 89900 + bump, SellerID: "bmart", Stock: 10},
+	}
+}

@@ -1,0 +1,35 @@
+// recbench regenerates the experiment tables recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	recbench -run=all            # every experiment, full size
+//	recbench -run=C5 -quick      # one experiment, small fixtures
+//
+// Experiments: F4.4 (learning rate), F4.5 (discard gate), C2 (mobile agent
+// vs RPC network cost), C4 (sparsity and cold start), C5 (technique
+// comparison with ablations).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"agentrec/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment id or 'all' ("+strings.Join(experiments.Names(), ", ")+")")
+	quick := flag.Bool("quick", false, "small fixtures (fast, noisier numbers)")
+	flag.Parse()
+
+	size := experiments.Full
+	if *quick {
+		size = experiments.Quick
+	}
+	if err := experiments.Run(os.Stdout, *run, size); err != nil {
+		fmt.Fprintln(os.Stderr, "recbench:", err)
+		os.Exit(1)
+	}
+}

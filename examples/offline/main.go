@@ -1,0 +1,77 @@
+// Offline: the §3.2 promise that "the consumer recommendation mechanism can
+// automatically serve consumer with assigned tasks even if consumer is
+// offline." The consumer starts a purchase over a deliberately slow
+// network, logs out while their Mobile Buyer Agent is still travelling, and
+// finds the completed transaction waiting in their inbox at the next login.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"agentrec"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	p, err := agentrec.New(
+		agentrec.WithMarketplaces(3),
+		agentrec.WithProducts(
+			&agentrec.Product{ID: "tv-1", Name: "BigScreen", Category: "tv",
+				Terms: map[string]float64{"oled": 1}, PriceCents: 399900, SellerID: "s1", Stock: 2},
+		),
+	)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+
+	// Simulate a slow wide-area network: every agent hop takes 80ms.
+	p.Internal().Loopback.SetPerHop(func(string) { time.Sleep(80 * time.Millisecond) })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	dana, err := p.NewConsumer(ctx, "dana")
+	if err != nil {
+		return err
+	}
+
+	// Launch the purchase in the background — the MBA is now on the road.
+	done := make(chan error, 1)
+	go func() {
+		_, err := dana.Buy(ctx, "tv-1", 0, false)
+		done <- err
+	}()
+
+	// Dana closes her laptop while the agent is still out shopping.
+	time.Sleep(120 * time.Millisecond)
+	if err := dana.Logout(ctx); err != nil {
+		return err
+	}
+	fmt.Println("dana logged out; her Mobile Buyer Agent keeps working...")
+
+	if err := <-done; err != nil {
+		return err
+	}
+
+	// Next morning: the completed purchase is waiting.
+	inbox, err := dana.Login(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dana logged back in: %d completed task(s) in the inbox\n", len(inbox))
+	for _, res := range inbox {
+		if res.Sale != nil {
+			fmt.Printf("  bought %s for $%.2f while offline (receipt %s)\n",
+				res.Sale.ProductID, float64(res.Sale.PriceCents)/100, res.Sale.Receipt)
+		}
+	}
+	return nil
+}

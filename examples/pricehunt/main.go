@@ -1,0 +1,89 @@
+// Pricehunt: the headline mobile-agent scenario from the paper's
+// introduction. The same product is listed at different prices on four
+// marketplaces; instead of the consumer browsing each site (drawback 2 of
+// the abstract), one Mobile Buyer Agent visits them all, and a negotiated
+// purchase closes below list price. The example prints the trip and the
+// transport traffic, illustrating the §1 claim that mobile agents reduce
+// network chatter to one dispatch per hop.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"agentrec"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	p, err := agentrec.New(agentrec.WithMarketplaces(4))
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+
+	// The same camera at four prices; the variant product ids differ per
+	// market because each marketplace runs its own catalog.
+	prices := []int64{74900, 69900, 82900, 71900}
+	for i, price := range prices {
+		if err := p.Stock(i, &agentrec.Product{
+			ID: "cam-pro", Name: "ProShot X", Category: "camera",
+			Terms: map[string]float64{"lens": 1, "pro": 0.8}, PriceCents: price,
+			SellerID: fmt.Sprintf("seller-%d", i+1), Stock: 3,
+		}); err != nil {
+			return err
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	hunter, err := p.NewConsumer(ctx, "hunter")
+	if err != nil {
+		return err
+	}
+
+	// First: one query trip shows every market's offer.
+	res, err := hunter.Query(ctx, agentrec.Query{Category: "camera", Terms: []string{"pro"}})
+	if err != nil {
+		return err
+	}
+	fmt.Println("== one agent, four marketplaces ==")
+	for _, mr := range res.Results {
+		for _, m := range mr.Matches {
+			fmt.Printf("  %-9s lists %s at $%.2f\n", mr.Market, m.Product.Name, float64(m.Product.PriceCents)/100)
+		}
+	}
+
+	// Then: a negotiated buy. The agent haggles market by market and buys
+	// at the first acceptable deal within budget. Budget below every list
+	// price forces real negotiation.
+	buy, err := hunter.Buy(ctx, "cam-pro", 68000, true)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== negotiated purchase ==")
+	for _, mr := range buy.Results {
+		switch {
+		case mr.Sale != nil:
+			fmt.Printf("  %-9s DEAL at $%.2f (list was higher; %d rounds)\n",
+				mr.Market, float64(mr.Sale.PriceCents)/100, mr.Nego.Round)
+		case mr.Nego != nil:
+			fmt.Printf("  %-9s no deal; seller's last ask $%.2f\n", mr.Market, float64(mr.Nego.AskCents)/100)
+		case mr.Err != "":
+			fmt.Printf("  %-9s error: %s\n", mr.Market, mr.Err)
+		}
+	}
+	if buy.Sale == nil {
+		fmt.Println("  no marketplace met the budget — try raising it")
+	} else {
+		fmt.Printf("  receipt: %s\n", buy.Sale.Receipt)
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+// Quickstart: boot the agent-based e-commerce platform, shop as one
+// consumer, and print the recommendation information the mechanism
+// generates — the smallest end-to-end tour of the paper's system.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"agentrec"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Two marketplaces, stocked round-robin with a small catalog.
+	p, err := agentrec.New(
+		agentrec.WithMarketplaces(2),
+		agentrec.WithProducts(
+			&agentrec.Product{ID: "lap-ultra", Name: "UltraBook 13", Category: "laptop",
+				Terms: map[string]float64{"ssd": 1, "light": 0.9}, PriceCents: 129900, SellerID: "acme", Stock: 10},
+			&agentrec.Product{ID: "lap-game", Name: "GameBook 17", Category: "laptop",
+				Terms: map[string]float64{"gpu": 1, "ssd": 0.5}, PriceCents: 219900, SellerID: "acme", Stock: 10},
+			&agentrec.Product{ID: "lap-budget", Name: "EconoBook", Category: "laptop",
+				Terms: map[string]float64{"hdd": 1}, PriceCents: 59900, SellerID: "bmart", Stock: 10},
+			&agentrec.Product{ID: "cam-zoom", Name: "ZoomMaster", Category: "camera",
+				Terms: map[string]float64{"zoom": 1, "lens": 0.7}, PriceCents: 89900, SellerID: "bmart", Stock: 10},
+		),
+	)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Register and log in: the mechanism creates alice's Buyer Recommend
+	// Agent, her personal shopper.
+	alice, err := p.NewConsumer(ctx, "alice")
+	if err != nil {
+		return err
+	}
+
+	// A merchandise query: a Mobile Buyer Agent migrates to both
+	// marketplaces, gathers matches, and the mechanism turns them into
+	// recommendations.
+	res, err := alice.Query(ctx, agentrec.Query{Category: "laptop", Terms: []string{"ssd"}})
+	if err != nil {
+		return err
+	}
+	fmt.Println("== query: laptops with ssd ==")
+	for _, mr := range res.Results {
+		fmt.Printf("  %s returned %d matches\n", mr.Market, len(mr.Matches))
+	}
+	for _, r := range res.Recommendations {
+		fmt.Printf("  recommended: %-12s score %.3f (%s)\n", r.ProductID, r.Score, r.Source)
+	}
+
+	// Buy with negotiation: the agent haggles the seller down within
+	// budget.
+	buy, err := alice.Buy(ctx, "lap-ultra", 120000, true)
+	if err != nil {
+		return err
+	}
+	if buy.Sale != nil {
+		fmt.Printf("== bought %s for $%.2f via %s (receipt %s)\n",
+			buy.Sale.ProductID, float64(buy.Sale.PriceCents)/100, buy.Sale.Via, buy.Sale.Receipt)
+	}
+
+	// The profile learned from the behaviour; browse recommendations.
+	recs, err := alice.Recommendations("", 5)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== you might also like ==")
+	for _, r := range recs {
+		fmt.Printf("  %-12s score %.3f (%s)\n", r.ProductID, r.Score, r.Source)
+	}
+	return nil
+}

@@ -1,0 +1,232 @@
+// Package aglet is a mobile-agent runtime modeled on the IBM Aglets API the
+// paper builds on (§2.1): agents are created on a host, exchange messages,
+// can be cloned, can be *dispatched* to another host (carrying their state),
+// *retracted* back, *deactivated* into stable storage and later *activated*
+// (the paper's §4.1 principle 3 uses exactly this to park a Buyer Recommend
+// Agent while its Mobile Buyer Agent is travelling), and finally disposed.
+//
+// Differences from Aglets, chosen deliberately for Go:
+//
+//   - Each agent runs as one goroutine owning an inbox channel; message
+//     handling is therefore serialized per agent, which is the Aglets
+//     threading model too.
+//   - Java serialization is replaced by each agent implementing
+//     State/SetState ([]byte round-trip, typically JSON).
+//   - Code does not travel: every host registers the agent types it can
+//     instantiate (a Registry), and a migrating agent is re-instantiated
+//     from its registered factory at the destination. This is the standard
+//     closed-world simplification; the paper's platform likewise pre-deploys
+//     its agent classes on every server.
+package aglet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Errors reported by the runtime. Match with errors.Is.
+var (
+	ErrNotFound    = errors.New("aglet: no such agent")
+	ErrDuplicateID = errors.New("aglet: agent id already in use")
+	ErrUnknownType = errors.New("aglet: agent type not registered")
+	ErrHostClosed  = errors.New("aglet: host closed")
+	ErrNotStored   = errors.New("aglet: no deactivated agent with that id")
+	ErrNoTransport = errors.New("aglet: host has no transport")
+)
+
+// Message is the unit of agent communication. Kind selects the handler
+// behaviour; Data is an opaque payload, JSON by convention.
+type Message struct {
+	Kind string
+	Data []byte
+}
+
+// Aglet is the behaviour contract every agent implements. Lifecycle
+// callbacks run on the agent's own goroutine except OnCreation, which runs
+// on the creator's goroutine before the agent is visible to anyone else.
+type Aglet interface {
+	// OnCreation initializes a brand-new agent with its init payload.
+	OnCreation(ctx *Context, init []byte) error
+	// OnArrival runs after the agent materializes on a new host following a
+	// dispatch, and after a clone materializes.
+	OnArrival(ctx *Context) error
+	// OnDeactivating runs just before the agent's state is serialized to the
+	// host store.
+	OnDeactivating(ctx *Context) error
+	// OnActivation runs after the agent is re-instantiated from the store.
+	OnActivation(ctx *Context) error
+	// OnDisposing runs as the agent is permanently destroyed.
+	OnDisposing(ctx *Context)
+	// HandleMessage processes one message and returns the reply.
+	HandleMessage(ctx *Context, msg Message) (Message, error)
+	// State serializes the agent's mutable state for migration,
+	// deactivation, and cloning.
+	State() ([]byte, error)
+	// SetState restores state produced by State.
+	SetState(data []byte) error
+}
+
+// Base provides no-op implementations of every Aglet callback except
+// HandleMessage, so concrete agents embed it and override what they need.
+type Base struct{}
+
+func (Base) OnCreation(*Context, []byte) error { return nil }
+func (Base) OnArrival(*Context) error          { return nil }
+func (Base) OnDeactivating(*Context) error     { return nil }
+func (Base) OnActivation(*Context) error       { return nil }
+func (Base) OnDisposing(*Context)              {}
+func (Base) State() ([]byte, error)            { return nil, nil }
+func (Base) SetState([]byte) error             { return nil }
+
+// Image is the wire form of a migrating agent: everything a destination
+// host needs to re-instantiate it. Meta carries application credentials
+// (travel tokens, nonces) that the security layer checks.
+type Image struct {
+	Type  string            `json:"type"`
+	ID    string            `json:"id"`
+	Owner string            `json:"owner"` // originating host name
+	State []byte            `json:"state"`
+	Meta  map[string]string `json:"meta,omitempty"`
+}
+
+// Transport moves images and messages between hosts. The atp package
+// provides a TCP implementation; Loopback provides an in-process one.
+type Transport interface {
+	// Dispatch delivers img to the host addressed by dest.
+	Dispatch(ctx context.Context, dest string, img Image) error
+	// Call sends msg to agent agentID on host dest and returns the reply.
+	Call(ctx context.Context, dest, agentID string, msg Message) (Message, error)
+	// Retract asks dest to surrender agent agentID, returning its image;
+	// the agent no longer runs at dest afterwards.
+	Retract(ctx context.Context, dest, agentID string) (Image, error)
+}
+
+// Factory constructs a zero agent of one type.
+type Factory func() Aglet
+
+// Registry maps agent type names to factories. A Registry is immutable
+// after construction and safe to share among hosts.
+type Registry struct {
+	mu        sync.RWMutex
+	factories map[string]Factory
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{factories: make(map[string]Factory)}
+}
+
+// Register binds name to factory, replacing any previous binding.
+func (r *Registry) Register(name string, factory Factory) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.factories[name] = factory
+}
+
+// New instantiates a zero agent of the named type.
+func (r *Registry) New(name string) (Aglet, error) {
+	r.mu.RLock()
+	factory, ok := r.factories[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownType, name)
+	}
+	return factory(), nil
+}
+
+// Types returns the registered type names in arbitrary order.
+func (r *Registry) Types() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.factories))
+	for name := range r.factories {
+		out = append(out, name)
+	}
+	return out
+}
+
+// LifecycleEvent identifies a lifecycle transition reported to hooks.
+type LifecycleEvent string
+
+// Lifecycle events, in the order an agent can experience them.
+const (
+	EventCreated     LifecycleEvent = "created"
+	EventCloned      LifecycleEvent = "cloned"
+	EventDispatched  LifecycleEvent = "dispatched" // left this host
+	EventArrived     LifecycleEvent = "arrived"    // materialized here
+	EventDeactivated LifecycleEvent = "deactivated"
+	EventActivated   LifecycleEvent = "activated"
+	EventDisposed    LifecycleEvent = "disposed"
+)
+
+// Hook observes lifecycle transitions; used by tests and the platform's
+// agent-management bookkeeping (the paper's BSMA duties).
+type Hook func(event LifecycleEvent, agentType, agentID string)
+
+// DispatchFailureHandler is an optional interface for travel-aware agents:
+// when a self-requested dispatch cannot reach its destination, the runtime
+// invokes OnDispatchFailure instead of silently parking the agent, and the
+// agent may request an alternative transition (skip the stop, head home,
+// dispose). Handlers must make progress — e.g. advance an itinerary — since
+// recovery recursion is bounded.
+type DispatchFailureHandler interface {
+	OnDispatchFailure(ctx *Context, dest string, err error)
+}
+
+// Context is the agent's view of its host, passed to every callback. It is
+// also how a running agent requests its own migration or termination: the
+// request takes effect after the current callback returns, mirroring the
+// Aglets behaviour where dispatch() unwinds the current event.
+type Context struct {
+	host *Host
+	cell *cell
+
+	pendingDispatch string
+	pendingDispose  bool
+	pendingDeactive bool
+
+	meta map[string]string
+}
+
+// ID returns the agent's identifier.
+func (c *Context) ID() string { return c.cell.id }
+
+// Type returns the agent's registered type name.
+func (c *Context) Type() string { return c.cell.typ }
+
+// HostName returns the name of the host the agent currently runs on.
+func (c *Context) HostName() string { return c.host.name }
+
+// Meta returns the credential metadata the agent arrived with, nil for
+// locally created agents.
+func (c *Context) Meta() map[string]string { return c.meta }
+
+// SetMeta replaces the agent's credential metadata; it travels with the
+// agent on the next dispatch.
+func (c *Context) SetMeta(meta map[string]string) { c.meta = meta }
+
+// RequestDispatch asks the runtime to migrate this agent to dest after the
+// current callback returns.
+func (c *Context) RequestDispatch(dest string) { c.pendingDispatch = dest }
+
+// RequestDispose asks the runtime to destroy this agent after the current
+// callback returns.
+func (c *Context) RequestDispose() { c.pendingDispose = true }
+
+// RequestDeactivate asks the runtime to serialize this agent to the host
+// store after the current callback returns.
+func (c *Context) RequestDeactivate() { c.pendingDeactive = true }
+
+// Send delivers msg to another agent on the same host and waits for the
+// reply. Agents on other hosts are reached through Proxy.
+func (c *Context) Send(ctx context.Context, agentID string, msg Message) (Message, error) {
+	return c.host.Send(ctx, agentID, msg)
+}
+
+func (c *Context) clearPending() {
+	c.pendingDispatch = ""
+	c.pendingDispose = false
+	c.pendingDeactive = false
+}

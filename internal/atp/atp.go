@@ -1,0 +1,328 @@
+// Package atp implements the Agent Transfer Protocol: the network transport
+// that moves aglet images and messages between hosts in different processes,
+// standing in for the Aglets ATP layer the paper's platform uses (§2.1).
+//
+// Wire format: each request and response is a 4-byte big-endian length
+// followed by a JSON body. Every request carries an HMAC-SHA256 signature
+// over its canonical payload, so a host only accepts agents and messages
+// from peers holding the shared platform key — the "comprehensive and simple"
+// security goal the Aglets design states.
+//
+// One request is exchanged per connection. That matches the paper's traffic
+// pattern (an agent dispatch or a single query), keeps the protocol trivially
+// robust, and makes the byte accounting used by experiment C2 exact.
+package atp
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"agentrec/internal/aglet"
+	"agentrec/internal/security"
+)
+
+// Errors reported by the protocol layer.
+var (
+	ErrFrameTooLarge = errors.New("atp: frame exceeds limit")
+	ErrBadFrame      = errors.New("atp: malformed frame")
+	ErrRejected      = errors.New("atp: peer rejected request")
+)
+
+// MaxFrame bounds a single frame; a migrating agent image comfortably fits.
+const MaxFrame = 16 << 20
+
+// request operations.
+const (
+	opDispatch = "dispatch"
+	opCall     = "call"
+	opRetract  = "retract"
+	opPing     = "ping"
+)
+
+type request struct {
+	Op      string       `json:"op"`
+	Image   *aglet.Image `json:"image,omitempty"`
+	AgentID string       `json:"agent_id,omitempty"`
+	Kind    string       `json:"kind,omitempty"`
+	Data    []byte       `json:"data,omitempty"`
+	Sig     []byte       `json:"sig"`
+}
+
+type response struct {
+	OK    bool         `json:"ok"`
+	Error string       `json:"error,omitempty"`
+	Kind  string       `json:"kind,omitempty"`
+	Data  []byte       `json:"data,omitempty"`
+	Image *aglet.Image `json:"image,omitempty"`
+}
+
+// signable returns the canonical bytes covered by the signature: the JSON
+// encoding of the request with Sig nil.
+func (r request) signable() ([]byte, error) {
+	r.Sig = nil
+	return json.Marshal(r)
+}
+
+func writeFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("atp: encoding frame: %w", err)
+	}
+	if len(body) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("atp: writing frame header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("atp: writing frame body: %w", err)
+	}
+	return nil
+}
+
+func readFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	return nil
+}
+
+// Server accepts ATP connections for one aglet host. Construct with Serve;
+// Close stops accepting and waits for in-flight connections.
+type Server struct {
+	host     *aglet.Host
+	signer   *security.Signer
+	listener net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts an ATP server for host on addr (e.g. "127.0.0.1:0"). The
+// server verifies request signatures with signer.
+func Serve(host *aglet.Host, signer *security.Signer, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("atp: listening on %s: %w", addr, err)
+	}
+	s := &Server{host: host, signer: signer, listener: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's bound address, the string peers dial.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	conn.SetDeadline(time.Now().Add(30 * time.Second))
+	var req request
+	if err := readFrame(conn, &req); err != nil {
+		writeFrame(conn, response{Error: err.Error()})
+		return
+	}
+	payload, err := req.signable()
+	if err != nil {
+		writeFrame(conn, response{Error: err.Error()})
+		return
+	}
+	if err := s.signer.Verify(payload, req.Sig); err != nil {
+		writeFrame(conn, response{Error: "signature rejected"})
+		return
+	}
+	switch req.Op {
+	case opPing:
+		writeFrame(conn, response{OK: true})
+	case opDispatch:
+		if req.Image == nil {
+			writeFrame(conn, response{Error: "dispatch without image"})
+			return
+		}
+		if err := s.host.Receive(*req.Image); err != nil {
+			writeFrame(conn, response{Error: err.Error()})
+			return
+		}
+		writeFrame(conn, response{OK: true})
+	case opRetract:
+		img, err := s.host.Surrender(req.AgentID)
+		if err != nil {
+			writeFrame(conn, response{Error: err.Error()})
+			return
+		}
+		writeFrame(conn, response{OK: true, Image: &img})
+	case opCall:
+		ctx, cancel := context.WithTimeout(context.Background(), 25*time.Second)
+		defer cancel()
+		reply, err := s.host.Send(ctx, req.AgentID, aglet.Message{Kind: req.Kind, Data: req.Data})
+		if err != nil {
+			writeFrame(conn, response{Error: err.Error()})
+			return
+		}
+		writeFrame(conn, response{OK: true, Kind: reply.Kind, Data: reply.Data})
+	default:
+		writeFrame(conn, response{Error: "unknown op"})
+	}
+}
+
+// Close stops the server and waits for active connections to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.listener.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Client implements aglet.Transport over TCP. Destination host names are
+// dial addresses ("ip:port"). The zero value is unusable; use NewClient.
+type Client struct {
+	signer  *security.Signer
+	dialer  net.Dialer
+	timeout time.Duration
+
+	statsMu    sync.Mutex
+	dispatches int
+	calls      int
+	bytesSent  int64
+}
+
+// NewClient returns a transport client signing requests with signer.
+func NewClient(signer *security.Signer) *Client {
+	return &Client{signer: signer, timeout: 30 * time.Second}
+}
+
+func (c *Client) roundTrip(ctx context.Context, dest string, req request) (response, error) {
+	payload, err := req.signable()
+	if err != nil {
+		return response{}, err
+	}
+	req.Sig = c.signer.Sign(payload)
+
+	conn, err := c.dialer.DialContext(ctx, "tcp", dest)
+	if err != nil {
+		return response{}, fmt.Errorf("atp: dialing %s: %w", dest, err)
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(deadline)
+	} else {
+		conn.SetDeadline(time.Now().Add(c.timeout))
+	}
+
+	if err := writeFrame(conn, req); err != nil {
+		return response{}, err
+	}
+	var resp response
+	if err := readFrame(conn, &resp); err != nil {
+		return response{}, fmt.Errorf("atp: reading response from %s: %w", dest, err)
+	}
+	if !resp.OK {
+		return response{}, fmt.Errorf("%w: %s", ErrRejected, resp.Error)
+	}
+
+	c.statsMu.Lock()
+	switch req.Op {
+	case opDispatch:
+		c.dispatches++
+		if req.Image != nil {
+			c.bytesSent += int64(len(req.Image.State))
+		}
+	case opCall:
+		c.calls++
+		c.bytesSent += int64(len(req.Data) + len(resp.Data))
+	}
+	c.statsMu.Unlock()
+	return resp, nil
+}
+
+// Dispatch implements aglet.Transport.
+func (c *Client) Dispatch(ctx context.Context, dest string, img aglet.Image) error {
+	_, err := c.roundTrip(ctx, dest, request{Op: opDispatch, Image: &img})
+	return err
+}
+
+// Call implements aglet.Transport.
+func (c *Client) Call(ctx context.Context, dest, agentID string, msg aglet.Message) (aglet.Message, error) {
+	resp, err := c.roundTrip(ctx, dest, request{Op: opCall, AgentID: agentID, Kind: msg.Kind, Data: msg.Data})
+	if err != nil {
+		return aglet.Message{}, err
+	}
+	return aglet.Message{Kind: resp.Kind, Data: resp.Data}, nil
+}
+
+// Retract implements aglet.Transport: it asks dest to surrender agentID.
+func (c *Client) Retract(ctx context.Context, dest, agentID string) (aglet.Image, error) {
+	resp, err := c.roundTrip(ctx, dest, request{Op: opRetract, AgentID: agentID})
+	if err != nil {
+		return aglet.Image{}, err
+	}
+	if resp.Image == nil {
+		return aglet.Image{}, fmt.Errorf("%w: retract returned no image", ErrBadFrame)
+	}
+	return *resp.Image, nil
+}
+
+// Ping checks liveness of the ATP server at dest.
+func (c *Client) Ping(ctx context.Context, dest string) error {
+	_, err := c.roundTrip(ctx, dest, request{Op: opPing})
+	return err
+}
+
+// Stats reports dispatches, calls and payload bytes sent since construction.
+func (c *Client) Stats() (dispatches, calls int, bytesSent int64) {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.dispatches, c.calls, c.bytesSent
+}
+
+var _ aglet.Transport = (*Client)(nil)

@@ -1,0 +1,978 @@
+package buyerserver
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"agentrec/internal/aglet"
+	"agentrec/internal/catalog"
+	"agentrec/internal/coordinator"
+	"agentrec/internal/marketplace"
+	"agentrec/internal/profile"
+	"agentrec/internal/recommend"
+)
+
+// Message kinds exchanged among the mechanism's agents. Coordination is
+// exclusively by message passing (§4.1 principle 6).
+const (
+	kindRegister = "register"
+	kindLogin    = "login"
+	kindLogout   = "logout"
+	kindHTTPTask = "http-task"
+	kindTask     = "task"
+	kindEmbark   = "embark"
+	kindMBAHome  = "mba-home"
+	kindTaskDone = "task-complete"
+	kindObserve  = "observe-batch"
+	kindOK       = "ok"
+)
+
+type userReq struct {
+	UserID string `json:"user_id"`
+}
+
+type loginReply struct {
+	Inbox []TaskResult `json:"inbox,omitempty"`
+}
+
+type taskReq struct {
+	UserID string   `json:"user_id"`
+	Spec   TaskSpec `json:"spec"`
+}
+
+type taskAck struct {
+	TaskID string `json:"task_id"`
+	MBAID  string `json:"mba_id"`
+}
+
+// mbaState is everything a Mobile Buyer Agent carries: its assignment, its
+// route, what it has gathered, and its credentials for re-entry (§4.1
+// principle 2). It is the agent's serialized form for every migration.
+type mbaState struct {
+	UserID   string            `json:"user_id"`
+	Spec     TaskSpec          `json:"spec"`
+	It       aglet.Itinerary   `json:"itinerary"`
+	Results  []MarketResult    `json:"results,omitempty"`
+	Sale     *marketplace.Sale `json:"sale,omitempty"`
+	Token    string            `json:"token"`
+	Nonce    string            `json:"nonce"`
+	Response string            `json:"response"`
+	TripLog  []string          `json:"trip_log,omitempty"`
+}
+
+type mbaHomeReply struct {
+	Accepted bool `json:"accepted"`
+}
+
+// observeEvent is one behavioural observation sent to the Profile Agent.
+type observeEvent struct {
+	Evidence profile.Evidence  `json:"evidence"`
+	Sale     *marketplace.Sale `json:"sale,omitempty"`
+}
+
+type observeBatch struct {
+	UserID   string         `json:"user_id"`
+	Events   []observeEvent `json:"events"`
+	Workflow string         `json:"workflow"`
+	Step     int            `json:"step"`
+}
+
+func marshalMsg(kind string, v any) (aglet.Message, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return aglet.Message{}, fmt.Errorf("buyerserver: encoding %s: %w", kind, err)
+	}
+	return aglet.Message{Kind: kind, Data: data}, nil
+}
+
+func agentCtx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), 30*time.Second)
+}
+
+// --- BSMA -------------------------------------------------------------
+
+// bsmaAgent is the Buyer Server Management Agent: "the manager of Buyer
+// Agent Server" (§3.3) — registration and login, agent management, and the
+// authentication gate for returning MBAs.
+type bsmaAgent struct {
+	aglet.Base
+	srv *Server
+	st  coordinator.BSMAState
+}
+
+// OnCreation handles standalone creation (no coordinator): init is the home
+// host name; setup runs immediately (Fig 4.1 steps 4–6).
+func (a *bsmaAgent) OnCreation(ctx *aglet.Context, init []byte) error {
+	a.st.Home = string(init)
+	return a.setup(ctx)
+}
+
+// OnArrival completes a coordinated Fig 4.1 creation: the BSMA just landed
+// (dispatched by the CA) and now sets up the mechanism.
+func (a *bsmaAgent) OnArrival(ctx *aglet.Context) error {
+	return a.setup(ctx)
+}
+
+// setup performs Fig 4.1 steps 4–6: create the Profile Agent, create the
+// HttpA agent, initialize the databases.
+func (a *bsmaAgent) setup(ctx *aglet.Context) error {
+	s := a.srv
+	s.tracer.Record("creation", 4, "BSMA", "PA", "create profile agent")
+	if _, err := s.host.Create("pa", PAID, nil); err != nil {
+		return fmt.Errorf("buyerserver: creating PA: %w", err)
+	}
+	s.tracer.Record("creation", 5, "BSMA", "HttpA", "create HttpA agent")
+	if _, err := s.host.Create("httpa", HttpAID, nil); err != nil {
+		return fmt.Errorf("buyerserver: creating HttpA: %w", err)
+	}
+	s.tracer.Record("creation", 6, "BSMA", "DB", "initialize UserDB and BSMDB")
+	if err := s.userDB.Put(bucketMeta, "created", []byte(s.host.Name())); err != nil {
+		return err
+	}
+	return s.bsmDB.Put(bucketMeta, "created", []byte(s.host.Name()))
+}
+
+func (a *bsmaAgent) State() ([]byte, error)     { return json.Marshal(a.st) }
+func (a *bsmaAgent) SetState(data []byte) error { return json.Unmarshal(data, &a.st) }
+
+func (a *bsmaAgent) HandleMessage(ctx *aglet.Context, msg aglet.Message) (aglet.Message, error) {
+	switch msg.Kind {
+	case kindRegister:
+		var req userReq
+		if err := json.Unmarshal(msg.Data, &req); err != nil {
+			return aglet.Message{}, fmt.Errorf("buyerserver: bad register: %w", err)
+		}
+		return a.register(req.UserID)
+	case kindLogin:
+		var req userReq
+		if err := json.Unmarshal(msg.Data, &req); err != nil {
+			return aglet.Message{}, fmt.Errorf("buyerserver: bad login: %w", err)
+		}
+		return a.login(req.UserID)
+	case kindLogout:
+		var req userReq
+		if err := json.Unmarshal(msg.Data, &req); err != nil {
+			return aglet.Message{}, fmt.Errorf("buyerserver: bad logout: %w", err)
+		}
+		return a.logout(req.UserID)
+	case kindTask:
+		var req taskReq
+		if err := json.Unmarshal(msg.Data, &req); err != nil {
+			return aglet.Message{}, fmt.Errorf("buyerserver: bad task: %w", err)
+		}
+		return a.assignTask(ctx, req)
+	case kindMBAHome:
+		var st mbaState
+		if err := json.Unmarshal(msg.Data, &st); err != nil {
+			return aglet.Message{}, fmt.Errorf("buyerserver: bad mba-home: %w", err)
+		}
+		return a.mbaHome(ctx, st)
+	default:
+		return aglet.Message{}, fmt.Errorf("buyerserver: BSMA does not understand %q", msg.Kind)
+	}
+}
+
+func (a *bsmaAgent) register(userID string) (aglet.Message, error) {
+	s := a.srv
+	if s.userDB.Has(bucketUsers, userID) {
+		return aglet.Message{}, fmt.Errorf("%w: %s", ErrUserExists, userID)
+	}
+	rec := UserRecord{ID: userID, RegisteredAt: time.Now()}
+	if err := s.userDB.EncodeJSON(bucketUsers, userID, rec); err != nil {
+		return aglet.Message{}, err
+	}
+	p := profile.NewProfile(userID)
+	if err := s.storeProfile(p); err != nil {
+		return aglet.Message{}, err
+	}
+	s.engine.SetProfile(p)
+	return aglet.Message{Kind: kindOK}, nil
+}
+
+func (a *bsmaAgent) login(userID string) (aglet.Message, error) {
+	s := a.srv
+	var rec UserRecord
+	if err := s.userDB.DecodeJSON(bucketUsers, userID, &rec); err != nil {
+		return aglet.Message{}, fmt.Errorf("%w: %s", ErrUnknownUser, userID)
+	}
+	id := braID(userID)
+	if s.host.Has(id) {
+		return aglet.Message{}, fmt.Errorf("%w: %s", ErrAlreadyOnline, userID)
+	}
+	if s.host.HasStored(id) {
+		// A parked BRA from an interrupted session: revive it.
+		if _, err := s.host.Activate(id); err != nil {
+			return aglet.Message{}, err
+		}
+	} else {
+		if _, err := s.host.Create("bra", id, []byte(userID)); err != nil {
+			return aglet.Message{}, err
+		}
+	}
+	rec.Logins++
+	rec.Online = true
+	if err := s.userDB.EncodeJSON(bucketUsers, userID, rec); err != nil {
+		return aglet.Message{}, err
+	}
+	// Deliver results that completed while the consumer was offline.
+	var inbox []TaskResult
+	entries, err := s.userDB.Scan(bucketInbox, userID+"/")
+	if err != nil {
+		return aglet.Message{}, err
+	}
+	for _, e := range entries {
+		var res TaskResult
+		if err := json.Unmarshal(e.Value, &res); err == nil {
+			inbox = append(inbox, res)
+		}
+		if err := s.userDB.Delete(bucketInbox, e.Key); err != nil {
+			return aglet.Message{}, err
+		}
+	}
+	return marshalMsg(kindLogin, loginReply{Inbox: inbox})
+}
+
+func (a *bsmaAgent) logout(userID string) (aglet.Message, error) {
+	s := a.srv
+	id := braID(userID)
+	switch {
+	case s.host.Has(id):
+		if err := s.host.Dispose(id); err != nil {
+			return aglet.Message{}, err
+		}
+	case s.host.HasStored(id):
+		if err := s.host.DiscardStored(id); err != nil {
+			return aglet.Message{}, err
+		}
+	default:
+		return aglet.Message{}, fmt.Errorf("%w: %s", ErrNotLoggedIn, userID)
+	}
+	var rec UserRecord
+	if err := s.userDB.DecodeJSON(bucketUsers, userID, &rec); err == nil {
+		rec.Online = false
+		if err := s.userDB.EncodeJSON(bucketUsers, userID, rec); err != nil {
+			return aglet.Message{}, err
+		}
+	}
+	return aglet.Message{Kind: kindOK}, nil
+}
+
+// assignTask runs the front half of Figs 4.2/4.3: hand the task to the BRA
+// (step 3), record the MBA in BSMDB, deactivate the BRA (§4.1 principle 3),
+// and send the MBA on its way.
+func (a *bsmaAgent) assignTask(ctx *aglet.Context, req taskReq) (aglet.Message, error) {
+	s := a.srv
+	wf := workflowName(req.Spec.Kind)
+	id := braID(req.UserID)
+
+	// A consumer whose BRA is parked (another MBA in flight) is still
+	// online: revive the BRA for this assignment.
+	if s.host.HasStored(id) {
+		if _, err := s.host.Activate(id); err != nil {
+			return aglet.Message{}, err
+		}
+	}
+	if !s.host.Has(id) {
+		return aglet.Message{}, fmt.Errorf("%w: %s", ErrNotLoggedIn, req.UserID)
+	}
+
+	s.tracer.Record(wf, 3, "BSMA", "BRA", "assign "+string(req.Spec.Kind)+" task")
+	cctx, cancel := agentCtx()
+	defer cancel()
+	msg, err := marshalMsg(kindTask, req)
+	if err != nil {
+		return aglet.Message{}, err
+	}
+	reply, err := ctx.Send(cctx, id, msg)
+	if err != nil {
+		return aglet.Message{}, err
+	}
+	var ack taskAck
+	if err := json.Unmarshal(reply.Data, &ack); err != nil {
+		return aglet.Message{}, fmt.Errorf("buyerserver: bad task ack: %w", err)
+	}
+
+	// Fig 4.2 step 8 (folded into step 7 in Fig 4.3): note the MBA in BSMDB
+	// and park the BRA while its MBA travels.
+	if req.Spec.Kind == TaskQuery {
+		s.tracer.Record(wf, 8, "BSMA", "BSMDB", "record MBA; deactivate BRA")
+	}
+	mrec := MBARecord{
+		MBAID: ack.MBAID, TaskID: ack.TaskID, UserID: req.UserID,
+		Kind: string(req.Spec.Kind), Status: "dispatched", Itinerary: req.Spec.Markets,
+	}
+	if err := s.bsmDB.EncodeJSON(bucketMBAs, ack.MBAID, mrec); err != nil {
+		return aglet.Message{}, err
+	}
+	if err := s.host.Deactivate(id); err != nil {
+		return aglet.Message{}, fmt.Errorf("buyerserver: parking BRA: %w", err)
+	}
+	// Send the MBA off; the reply comes back before the trip starts, and
+	// the journey then proceeds on the MBA's own goroutine.
+	if _, err := ctx.Send(cctx, ack.MBAID, aglet.Message{Kind: kindEmbark}); err != nil {
+		return aglet.Message{}, fmt.Errorf("buyerserver: embarking MBA: %w", err)
+	}
+	return reply, nil
+}
+
+// mbaHome runs the back half of the workflows: authenticate the returning
+// MBA (§4.1 principle 2), revive the BRA, deliver the gathered results, and
+// hand the final answer to the waiting consumer.
+func (a *bsmaAgent) mbaHome(ctx *aglet.Context, st mbaState) (aglet.Message, error) {
+	s := a.srv
+	wf := workflowName(st.Spec.Kind)
+	mbaID := mbaID(st.Spec.TaskID)
+	outStep, inStep, homeStep := 9, 10, 11
+	if wf == "buy" {
+		outStep, inStep, homeStep = 8, 9, 10
+	}
+
+	// Authentication gate: the travel token must verify for this exact
+	// agent and the single-use nonce must answer the challenge.
+	if _, err := s.tokens.Verify(st.Token, mbaID); err != nil {
+		return a.rejectMBA(mbaID, st, err)
+	}
+	if err := s.challenger.VerifyResponse(mbaID, st.Nonce, st.Response); err != nil {
+		return a.rejectMBA(mbaID, st, err)
+	}
+
+	// Replay the trip into the trace: each visited marketplace is one
+	// out/in pair in the figure.
+	for _, market := range st.TripLog {
+		s.tracer.Record(wf, outStep, "MBA", "Marketplace", "migrate and execute at "+market)
+		s.tracer.Record(wf, inStep, "Marketplace", "MBA", "results from "+market)
+	}
+	s.tracer.Record(wf, homeStep, "MBA", "BSMA", "return home and authenticate")
+	a.updateMBARecord(mbaID, "returned")
+
+	id := braID(st.UserID)
+	if !s.host.Has(id) && !s.host.HasStored(id) {
+		// Consumer logged out mid-task (§3.2: the mechanism keeps serving
+		// offline consumers): update the profile directly and park the
+		// result in the inbox for the next login.
+		return a.completeOffline(ctx, st)
+	}
+	if s.host.HasStored(id) {
+		if _, err := s.host.Activate(id); err != nil {
+			return aglet.Message{}, err
+		}
+	}
+	s.tracer.Record(wf, homeStep+1, "BSMA", "BRA", "activate BRA; deliver results")
+	cctx, cancel := agentCtx()
+	defer cancel()
+	msg, err := marshalMsg(kindTaskDone, st)
+	if err != nil {
+		return aglet.Message{}, err
+	}
+	reply, err := ctx.Send(cctx, id, msg)
+	if err != nil {
+		return aglet.Message{}, err
+	}
+	var res TaskResult
+	if err := json.Unmarshal(reply.Data, &res); err != nil {
+		return aglet.Message{}, fmt.Errorf("buyerserver: bad task result: %w", err)
+	}
+	finalStep := 15
+	if wf == "buy" {
+		finalStep = 14
+	}
+	s.tracer.Record(wf, finalStep, "BRA", "Buyer", "recommendation information and results")
+	s.fulfil(st.Spec.TaskID, res)
+	return marshalMsg(kindMBAHome, mbaHomeReply{Accepted: true})
+}
+
+// rejectMBA records the failed authentication and reports the outcome to
+// any waiter. The MBA disposes itself regardless.
+func (a *bsmaAgent) rejectMBA(mbaID string, st mbaState, cause error) (aglet.Message, error) {
+	a.updateMBARecord(mbaID, "rejected")
+	a.srv.fulfil(st.Spec.TaskID, TaskResult{
+		TaskID: st.Spec.TaskID, UserID: st.UserID, Kind: st.Spec.Kind, AuthFailed: true,
+	})
+	reply, err := marshalMsg(kindMBAHome, mbaHomeReply{Accepted: false})
+	if err != nil {
+		return aglet.Message{}, err
+	}
+	_ = cause // recorded via status; the waiter sees ErrAuthFailed
+	return reply, nil
+}
+
+func (a *bsmaAgent) updateMBARecord(mbaID, status string) {
+	var rec MBARecord
+	if err := a.srv.bsmDB.DecodeJSON(bucketMBAs, mbaID, &rec); err != nil {
+		return
+	}
+	rec.Status = status
+	_ = a.srv.bsmDB.EncodeJSON(bucketMBAs, mbaID, rec)
+}
+
+// completeOffline finishes a task whose consumer is gone: profile updates
+// still happen (through the PA) and the result waits in the inbox.
+func (a *bsmaAgent) completeOffline(ctx *aglet.Context, st mbaState) (aglet.Message, error) {
+	s := a.srv
+	batch := observeBatchFor(st, workflowName(st.Spec.Kind), 0)
+	cctx, cancel := agentCtx()
+	defer cancel()
+	msg, err := marshalMsg(kindObserve, batch)
+	if err != nil {
+		return aglet.Message{}, err
+	}
+	if _, err := ctx.Send(cctx, PAID, msg); err != nil {
+		return aglet.Message{}, err
+	}
+	res := TaskResult{
+		TaskID: st.Spec.TaskID, UserID: st.UserID, Kind: st.Spec.Kind,
+		Results: st.Results, Sale: st.Sale,
+	}
+	if err := s.userDB.EncodeJSON(bucketInbox, st.UserID+"/"+st.Spec.TaskID, res); err != nil {
+		return aglet.Message{}, err
+	}
+	s.fulfil(st.Spec.TaskID, res)
+	return marshalMsg(kindMBAHome, mbaHomeReply{Accepted: true})
+}
+
+// --- BRA --------------------------------------------------------------
+
+// braAgent is the Buyer Recommend Agent: one per online consumer, it loads
+// the profile, launches Mobile Buyer Agents, and creates the recommendation
+// information (§3.3).
+type braAgent struct {
+	aglet.Base
+	srv *Server
+	st  braState
+}
+
+type braState struct {
+	UserID string `json:"user_id"`
+}
+
+func (a *braAgent) OnCreation(_ *aglet.Context, init []byte) error {
+	a.st.UserID = string(init)
+	return nil
+}
+
+func (a *braAgent) State() ([]byte, error)     { return json.Marshal(a.st) }
+func (a *braAgent) SetState(data []byte) error { return json.Unmarshal(data, &a.st) }
+
+func (a *braAgent) HandleMessage(ctx *aglet.Context, msg aglet.Message) (aglet.Message, error) {
+	switch msg.Kind {
+	case kindTask:
+		var req taskReq
+		if err := json.Unmarshal(msg.Data, &req); err != nil {
+			return aglet.Message{}, fmt.Errorf("buyerserver: bad task: %w", err)
+		}
+		return a.launch(ctx, req)
+	case kindTaskDone:
+		var st mbaState
+		if err := json.Unmarshal(msg.Data, &st); err != nil {
+			return aglet.Message{}, fmt.Errorf("buyerserver: bad task-complete: %w", err)
+		}
+		return a.complete(ctx, st)
+	default:
+		return aglet.Message{}, fmt.Errorf("buyerserver: BRA does not understand %q", msg.Kind)
+	}
+}
+
+// launch performs Figs 4.2/4.3 steps 4–7: load the profile, create the MBA
+// with its assignment and travel credentials, and note it to the BSMA.
+func (a *braAgent) launch(ctx *aglet.Context, req taskReq) (aglet.Message, error) {
+	s := a.srv
+	wf := workflowName(req.Spec.Kind)
+	s.tracer.Record(wf, 4, "BRA", "UserDB", "load consumer profile")
+	if _, err := s.loadProfile(a.st.UserID); err != nil {
+		return aglet.Message{}, err
+	}
+	s.tracer.Record(wf, 5, "UserDB", "BRA", "profile loaded")
+
+	id := mbaID(req.Spec.TaskID)
+	nonce, err := s.challenger.Challenge(id)
+	if err != nil {
+		return aglet.Message{}, err
+	}
+	st := mbaState{
+		UserID:   a.st.UserID,
+		Spec:     req.Spec,
+		It:       aglet.NewItinerary(s.host.Name(), req.Spec.Markets...),
+		Token:    s.tokens.Issue(id, string(req.Spec.Kind), s.tokenTTL),
+		Nonce:    nonce,
+		Response: s.challenger.Respond(nonce, id),
+	}
+	init, err := json.Marshal(st)
+	if err != nil {
+		return aglet.Message{}, fmt.Errorf("buyerserver: encoding MBA state: %w", err)
+	}
+	s.tracer.Record(wf, 6, "BRA", "MBA", "create MBA and assign task")
+	if _, err := s.host.Create("mba", id, init); err != nil {
+		return aglet.Message{}, err
+	}
+	s.tracer.Record(wf, 7, "BRA", "BSMA", "note MBA information")
+	return marshalMsg(kindTask, taskAck{TaskID: req.Spec.TaskID, MBAID: id})
+}
+
+// complete turns what the MBA brought home into the consumer's answer:
+// behaviour goes to the Profile Agent (Fig 4.2 steps 13–14), and the
+// recommendation information is generated per §4.4.
+func (a *braAgent) complete(ctx *aglet.Context, st mbaState) (aglet.Message, error) {
+	s := a.srv
+	wf := workflowName(st.Spec.Kind)
+	paStep := 13
+	if wf == "buy" {
+		paStep = 12
+	}
+	s.tracer.Record(wf, paStep, "BRA", "PA", "report consumer behaviour")
+	batch := observeBatchFor(st, wf, paStep+1)
+	cctx, cancel := agentCtx()
+	defer cancel()
+	msg, err := marshalMsg(kindObserve, batch)
+	if err != nil {
+		return aglet.Message{}, err
+	}
+	if _, err := ctx.Send(cctx, PAID, msg); err != nil {
+		return aglet.Message{}, err
+	}
+
+	res := TaskResult{
+		TaskID: st.Spec.TaskID, UserID: st.UserID, Kind: st.Spec.Kind,
+		Results: st.Results, Sale: st.Sale,
+	}
+	switch st.Spec.Kind {
+	case TaskQuery:
+		recs, err := s.engine.RecommendForQuery(st.UserID, res.AllMatches(), 10)
+		if err != nil {
+			return aglet.Message{}, err
+		}
+		res.Recommendations = recs
+		if cross, err := s.engine.Recommend(recommend.StrategyAuto, st.UserID, st.Spec.Query.Category, 5); err == nil {
+			res.CrossSell = cross
+		}
+	default:
+		// After a purchase or auction: cross-sell from the engine (§2.3's
+		// "additional products in the checkout process").
+		if cross, err := s.engine.Recommend(recommend.StrategyAuto, st.UserID, "", 5); err == nil {
+			res.CrossSell = cross
+		}
+	}
+	return marshalMsg(kindTaskDone, res)
+}
+
+// --- PA ---------------------------------------------------------------
+
+// paAgent is the Profile Agent — exactly one per mechanism (§3.3) — which
+// applies the Fig 4.4 update rule for every observed behaviour and keeps
+// UserDB and the recommendation engine in sync.
+type paAgent struct {
+	aglet.Base
+	srv *Server
+}
+
+func (a *paAgent) HandleMessage(_ *aglet.Context, msg aglet.Message) (aglet.Message, error) {
+	if msg.Kind != kindObserve {
+		return aglet.Message{}, fmt.Errorf("buyerserver: PA does not understand %q", msg.Kind)
+	}
+	var batch observeBatch
+	if err := json.Unmarshal(msg.Data, &batch); err != nil {
+		return aglet.Message{}, fmt.Errorf("buyerserver: bad observe batch: %w", err)
+	}
+	s := a.srv
+	p, err := s.loadProfile(batch.UserID)
+	if err != nil {
+		if !errors.Is(err, ErrUnknownUser) {
+			return aglet.Message{}, err
+		}
+		p = profile.NewProfile(batch.UserID)
+	}
+	for _, ev := range batch.Events {
+		if err := p.Observe(ev.Evidence); err != nil {
+			return aglet.Message{}, err
+		}
+		if ev.Sale != nil {
+			s.engine.RecordPurchaseAt(batch.UserID, ev.Sale.ProductID, time.Now())
+			key := batch.UserID + "/" + ev.Sale.Receipt
+			if err := s.userDB.EncodeJSON(bucketTxns, key, ev.Sale); err != nil {
+				return aglet.Message{}, err
+			}
+		}
+	}
+	if batch.Step > 0 {
+		s.tracer.Record(batch.Workflow, batch.Step, "PA", "UserDB", "update consumer profile")
+	}
+	if err := s.storeProfile(p); err != nil {
+		return aglet.Message{}, err
+	}
+	s.engine.SetProfile(p)
+	return aglet.Message{Kind: kindOK}, nil
+}
+
+// observeBatchFor derives the profile evidence from a completed task: the
+// query itself for query tasks (what the consumer asked for), the bought
+// product for purchases, the auction's product for bids.
+func observeBatchFor(st mbaState, workflow string, step int) observeBatch {
+	batch := observeBatch{UserID: st.UserID, Workflow: workflow, Step: step}
+	switch st.Spec.Kind {
+	case TaskQuery:
+		terms := make(map[string]float64, len(st.Spec.Query.Terms))
+		for _, t := range st.Spec.Query.Terms {
+			terms[t] = 1
+		}
+		if st.Spec.Query.Category != "" || len(terms) > 0 {
+			batch.Events = append(batch.Events, observeEvent{Evidence: profile.Evidence{
+				Category:    st.Spec.Query.Category,
+				Terms:       terms,
+				SubCategory: st.Spec.Query.SubCategory,
+				Behaviour:   profile.BehaviourQuery,
+				At:          time.Now(),
+			}})
+		}
+	case TaskBuy:
+		for _, mr := range st.Results {
+			for _, m := range mr.Matches {
+				behaviour := profile.BehaviourQuery
+				var sale *marketplace.Sale
+				if st.Sale != nil && st.Sale.ProductID == m.Product.ID && mr.Sale != nil {
+					behaviour = profile.BehaviourBuy
+					sale = st.Sale
+				}
+				ev := m.Product.Evidence(behaviour)
+				ev.At = time.Now()
+				batch.Events = append(batch.Events, observeEvent{Evidence: ev, Sale: sale})
+			}
+		}
+	case TaskAuction:
+		for _, mr := range st.Results {
+			for _, m := range mr.Matches {
+				ev := m.Product.Evidence(profile.BehaviourBid)
+				ev.At = time.Now()
+				batch.Events = append(batch.Events, observeEvent{Evidence: ev})
+			}
+		}
+	}
+	return batch
+}
+
+// --- MBA --------------------------------------------------------------
+
+// mbaID derives the agent id of a task's Mobile Buyer Agent.
+func mbaID(taskID string) string { return "mba:" + taskID }
+
+// RegisterMBAType registers the Mobile Buyer Agent factory on reg. Every
+// host an MBA can land on — marketplaces included — must call this.
+func RegisterMBAType(reg *aglet.Registry) {
+	reg.Register("mba", func() aglet.Aglet { return &mbaAgent{} })
+}
+
+// mbaAgent is the Mobile Buyer Agent: created by a BRA with an assignment,
+// it migrates along its itinerary, trades with each marketplace's MSA, and
+// returns home to authenticate and deliver (§3.3, §4.1).
+type mbaAgent struct {
+	aglet.Base
+	st mbaState
+}
+
+func (a *mbaAgent) OnCreation(_ *aglet.Context, init []byte) error {
+	return json.Unmarshal(init, &a.st)
+}
+
+func (a *mbaAgent) State() ([]byte, error)     { return json.Marshal(a.st) }
+func (a *mbaAgent) SetState(data []byte) error { return json.Unmarshal(data, &a.st) }
+
+// HandleMessage accepts the embark order: the reply goes out first, then
+// the runtime performs the requested dispatch, so the whole journey runs on
+// this agent's own goroutine.
+func (a *mbaAgent) HandleMessage(ctx *aglet.Context, msg aglet.Message) (aglet.Message, error) {
+	if msg.Kind != kindEmbark {
+		return aglet.Message{}, fmt.Errorf("buyerserver: MBA does not understand %q", msg.Kind)
+	}
+	ctx.RequestDispatch(a.st.It.Current())
+	return aglet.Message{Kind: kindOK}, nil
+}
+
+// OnArrival is the MBA's program: work at a marketplace and hop on, or
+// deliver at home and dispose.
+func (a *mbaAgent) OnArrival(ctx *aglet.Context) error {
+	here := ctx.HostName()
+	if here == a.st.It.Home {
+		a.deliver(ctx)
+		ctx.RequestDispose()
+		return nil
+	}
+	a.st.TripLog = append(a.st.TripLog, here)
+	a.st.Results = append(a.st.Results, a.perform(ctx, here))
+
+	next, it := a.st.It.Advance()
+	a.st.It = it
+	if a.st.Sale != nil {
+		// Purchase made: the remaining stops are moot, head home.
+		next = a.st.It.Home
+		a.st.It.Index = len(a.st.It.Stops)
+	}
+	ctx.RequestDispatch(next)
+	return nil
+}
+
+// OnDispatchFailure makes the MBA resilient to unreachable marketplaces: a
+// failed hop is recorded as an error result for that stop and the trip
+// continues to the next destination. If home itself is unreachable the
+// agent disposes rather than haunt a marketplace forever; the waiting task
+// times out and the BSMDB record stays "dispatched" for the operator.
+func (a *mbaAgent) OnDispatchFailure(ctx *aglet.Context, dest string, err error) {
+	if dest == a.st.It.Home {
+		ctx.RequestDispose()
+		return
+	}
+	a.st.Results = append(a.st.Results, MarketResult{Market: dest, Err: "unreachable: " + err.Error()})
+	next, it := a.st.It.Advance()
+	a.st.It = it
+	ctx.RequestDispatch(next)
+}
+
+var _ aglet.DispatchFailureHandler = (*mbaAgent)(nil)
+
+// deliver hands the gathered state to the BSMA and ends the trip. Delivery
+// failures cannot be reported anywhere — the agent is the message — so the
+// result is recorded in the Err field of a final synthetic MarketResult
+// only when the send itself fails.
+func (a *mbaAgent) deliver(ctx *aglet.Context) {
+	cctx, cancel := agentCtx()
+	defer cancel()
+	msg, err := marshalMsg(kindMBAHome, a.st)
+	if err != nil {
+		return
+	}
+	_, _ = ctx.Send(cctx, BSMAID, msg)
+}
+
+// perform executes the assignment against the local marketplace's MSA.
+func (a *mbaAgent) perform(ctx *aglet.Context, market string) MarketResult {
+	res := MarketResult{Market: market}
+	switch a.st.Spec.Kind {
+	case TaskQuery:
+		var qr marketplace.QueryReply
+		if err := a.call(ctx, marketplace.KindQuery, marketplace.QueryRequest{Query: a.st.Spec.Query}, &qr); err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		res.Matches = qr.Matches
+	case TaskBuy:
+		a.performBuy(ctx, &res)
+	case TaskAuction:
+		a.performAuction(ctx, &res)
+	default:
+		res.Err = fmt.Sprintf("unknown task kind %q", a.st.Spec.Kind)
+	}
+	return res
+}
+
+func (a *mbaAgent) performBuy(ctx *aglet.Context, res *MarketResult) {
+	var gr marketplace.GetReply
+	if err := a.call(ctx, marketplace.KindGet, marketplace.GetRequest{ProductID: a.st.Spec.ProductID}, &gr); err != nil {
+		res.Err = err.Error()
+		return
+	}
+	res.Matches = []catalog.Match{{Product: gr.Product}}
+	budget := a.st.Spec.BudgetCents
+
+	if a.st.Spec.Probe {
+		a.probe(ctx, res, gr.Product)
+		return
+	}
+	if a.st.Spec.Negotiate && budget > 0 {
+		a.haggle(ctx, res, gr.Product, budget)
+		return
+	}
+	var br marketplace.BuyReply
+	err := a.call(ctx, marketplace.KindBuy, marketplace.BuyRequest{
+		BuyerID: a.st.UserID, ProductID: a.st.Spec.ProductID, MaxPriceCents: budget,
+	}, &br)
+	if err != nil {
+		res.Err = err.Error()
+		return
+	}
+	res.Sale = &br.Sale
+	a.st.Sale = &br.Sale
+}
+
+// haggle negotiates with the local seller using the shared concession rule.
+func (a *mbaAgent) haggle(ctx *aglet.Context, res *MarketResult, p *catalog.Product, budget int64) {
+	offer := int64(0.7 * float64(p.PriceCents))
+	if offer > budget {
+		offer = budget
+	}
+	var reply marketplace.NegoReply
+	err := a.call(ctx, marketplace.KindNegoOpen, marketplace.NegoOpenRequest{
+		BuyerID: a.st.UserID, ProductID: p.ID, OfferCents: offer,
+	}, &reply)
+	if err != nil {
+		res.Err = err.Error()
+		return
+	}
+	for !reply.Over {
+		next := marketplace.BuyerNextOffer(offer, reply.AskCents, budget)
+		if next <= offer {
+			break // cannot improve within budget
+		}
+		offer = next
+		if err := a.call(ctx, marketplace.KindNegoOffer, marketplace.NegoOfferRequest{
+			SessionID: reply.SessionID, OfferCents: offer,
+		}, &reply); err != nil {
+			res.Err = err.Error()
+			return
+		}
+	}
+	res.Nego = &reply
+	if reply.Accepted && reply.Sale != nil {
+		res.Sale = reply.Sale
+		a.st.Sale = reply.Sale
+	}
+}
+
+// probe runs the price-discovery negotiation: raise offers below the ask
+// until the seller's concessions dry up, learning the achievable floor
+// without buying. The final NegoReply (with the settled ask) is the answer.
+func (a *mbaAgent) probe(ctx *aglet.Context, res *MarketResult, p *catalog.Product) {
+	offer := int64(0.8 * float64(p.PriceCents))
+	var reply marketplace.NegoReply
+	err := a.call(ctx, marketplace.KindNegoOpen, marketplace.NegoOpenRequest{
+		BuyerID: a.st.UserID, ProductID: p.ID, OfferCents: offer,
+	}, &reply)
+	if err != nil {
+		res.Err = err.Error()
+		return
+	}
+	for !reply.Over {
+		next, done := marketplace.ProbeNextOffer(offer, reply.AskCents)
+		if done {
+			break
+		}
+		offer = next
+		if err := a.call(ctx, marketplace.KindNegoOffer, marketplace.NegoOfferRequest{
+			SessionID: reply.SessionID, OfferCents: offer,
+		}, &reply); err != nil {
+			res.Err = err.Error()
+			return
+		}
+	}
+	res.Nego = &reply
+}
+
+// performAuction inspects the auction and places one bid within budget.
+func (a *mbaAgent) performAuction(ctx *aglet.Context, res *MarketResult) {
+	var st marketplace.AuctionStatus
+	if err := a.call(ctx, marketplace.KindAuctionState, marketplace.AuctionCloseRequest{AuctionID: a.st.Spec.AuctionID}, &st); err != nil {
+		res.Err = err.Error()
+		return
+	}
+	// Fetch the product for the profile evidence.
+	var gr marketplace.GetReply
+	if err := a.call(ctx, marketplace.KindGet, marketplace.GetRequest{ProductID: st.ProductID}, &gr); err == nil {
+		res.Matches = []catalog.Match{{Product: gr.Product}}
+	}
+	bid := nextBid(st, a.st.Spec.BudgetCents)
+	if st.Closed || bid <= 0 {
+		res.Auction = &st
+		return
+	}
+	var after marketplace.AuctionStatus
+	if err := a.call(ctx, marketplace.KindAuctionBid, marketplace.AuctionBidRequest{
+		AuctionID: a.st.Spec.AuctionID, BidderID: a.st.UserID, AmountCents: bid,
+	}, &after); err != nil {
+		res.Err = err.Error()
+		res.Auction = &st
+		return
+	}
+	res.Auction = &after
+}
+
+// nextBid picks the minimal competitive bid within budget: 5% over the high
+// bid (at least one dollar), or the reserve for an untouched auction. Zero
+// means "do not bid".
+func nextBid(st marketplace.AuctionStatus, budget int64) int64 {
+	var bid int64
+	if st.HighBid == 0 {
+		bid = st.ReserveCents
+		if bid == 0 {
+			bid = 100
+		}
+	} else {
+		inc := st.HighBid / 20
+		if inc < 100 {
+			inc = 100
+		}
+		bid = st.HighBid + inc
+	}
+	if bid > budget {
+		return 0
+	}
+	return bid
+}
+
+// call sends one typed request to the local MSA and decodes the reply.
+func (a *mbaAgent) call(ctx *aglet.Context, kind string, req, out any) error {
+	cctx, cancel := agentCtx()
+	defer cancel()
+	msg, err := marshalMsg(kind, req)
+	if err != nil {
+		return err
+	}
+	reply, err := ctx.Send(cctx, marketplace.MSAID, msg)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(reply.Data, out); err != nil {
+		return fmt.Errorf("buyerserver: decoding %s reply: %w", kind, err)
+	}
+	return nil
+}
+
+// --- HttpA ------------------------------------------------------------
+
+// httpaAgent is the web-interface agent: it receives the buyer's requests
+// (Fig 4.2/4.3 step 1) and forwards them to the BSMA (step 2). The actual
+// net/http plumbing lives in http.go and talks to this agent.
+type httpaAgent struct {
+	aglet.Base
+	srv *Server
+}
+
+func (a *httpaAgent) HandleMessage(ctx *aglet.Context, msg aglet.Message) (aglet.Message, error) {
+	cctx, cancel := agentCtx()
+	defer cancel()
+	switch msg.Kind {
+	case kindHTTPTask:
+		var req taskReq
+		if err := json.Unmarshal(msg.Data, &req); err != nil {
+			return aglet.Message{}, fmt.Errorf("buyerserver: bad http task: %w", err)
+		}
+		wf := workflowName(req.Spec.Kind)
+		a.srv.tracer.Record(wf, 1, "Buyer", "HttpA", string(req.Spec.Kind)+" request")
+		a.srv.tracer.Record(wf, 2, "HttpA", "BSMA", "forward request")
+		return ctx.Send(cctx, BSMAID, aglet.Message{Kind: kindTask, Data: msg.Data})
+	case kindRegister, kindLogin, kindLogout:
+		// Account operations pass through to the BSMA untraced; the figures
+		// cover only the shopping workflows.
+		return ctx.Send(cctx, BSMAID, msg)
+	default:
+		return aglet.Message{}, fmt.Errorf("buyerserver: HttpA does not understand %q", msg.Kind)
+	}
+}
+
+// --- profile storage helpers ------------------------------------------
+
+// loadProfile reads a consumer profile from UserDB.
+func (s *Server) loadProfile(userID string) (*profile.Profile, error) {
+	data, err := s.userDB.Get(bucketProfiles, userID)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownUser, userID)
+	}
+	return profile.Unmarshal(data)
+}
+
+// storeProfile writes a consumer profile to UserDB.
+func (s *Server) storeProfile(p *profile.Profile) error {
+	data, err := p.Marshal()
+	if err != nil {
+		return err
+	}
+	return s.userDB.Put(bucketProfiles, p.UserID, data)
+}

@@ -1,0 +1,349 @@
+// Package buyerserver implements the paper's Buyer Agent Server — "also the
+// proposed consumer recommendation mechanism" (§3.2 item 3) — with the full
+// agent cast of Fig 3.2:
+//
+//   - BSMA, the Buyer Server Management Agent: registration/login, agent
+//     management, BSMDB bookkeeping, MBA authentication on return.
+//   - HttpA, the web interface agent: translates web requests into agent
+//     messages (see http.go).
+//   - PA, the single Profile Agent: applies the Fig 4.4 update rule to
+//     consumer profiles on every observed behaviour.
+//   - BRA, one Buyer Recommend Agent per online consumer: loads the
+//     profile, launches shopping tasks, generates recommendation
+//     information. Deactivated while its MBA travels (§4.1 principle 3).
+//   - MBA, the Mobile Buyer Agent: migrates across marketplaces executing
+//     the task, then returns and authenticates to the BSMA (§4.1
+//     principle 2).
+//
+// plus UserDB (profiles, transactions, offline-result inbox) and BSMDB
+// (platform directory cache, MBA trip records) on the kvstore substrate.
+//
+// The three workflows of §4 are implemented end to end with the exact step
+// numbering of Figs 4.1–4.3; see workflows.go and the trace package.
+package buyerserver
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"agentrec/internal/aglet"
+	"agentrec/internal/coordinator"
+	"agentrec/internal/kvstore"
+	"agentrec/internal/recommend"
+	"agentrec/internal/security"
+	"agentrec/internal/trace"
+)
+
+// Well-known agent ids on a buyer agent server.
+const (
+	BSMAID  = coordinator.BSMAID
+	PAID    = "pa"
+	HttpAID = "httpa"
+)
+
+// UserDB bucket names.
+const (
+	bucketUsers    = "users"
+	bucketProfiles = "profiles"
+	bucketTxns     = "txns"
+	bucketInbox    = "inbox"
+)
+
+// BSMDB bucket names.
+const (
+	bucketMBAs = "mbas"
+	bucketMeta = "meta"
+)
+
+// Errors reported by the server.
+var (
+	ErrUserExists    = errors.New("buyerserver: user already registered")
+	ErrUnknownUser   = errors.New("buyerserver: user not registered")
+	ErrNotLoggedIn   = errors.New("buyerserver: user not logged in")
+	ErrAlreadyOnline = errors.New("buyerserver: user already logged in")
+	ErrNoMarkets     = errors.New("buyerserver: no marketplaces known")
+	ErrAuthFailed    = errors.New("buyerserver: returning MBA failed authentication")
+	ErrClosed        = errors.New("buyerserver: server closed")
+)
+
+// UserRecord is the UserDB row for a registered consumer.
+type UserRecord struct {
+	ID           string    `json:"id"`
+	RegisteredAt time.Time `json:"registered_at"`
+	Logins       int       `json:"logins"`
+	Online       bool      `json:"online"`
+}
+
+// MBARecord is the BSMDB row tracking a dispatched Mobile Buyer Agent
+// (§4.1 principle 2: "BRA will note BSMA to keep the MBA's information").
+type MBARecord struct {
+	MBAID     string   `json:"mba_id"`
+	TaskID    string   `json:"task_id"`
+	UserID    string   `json:"user_id"`
+	Kind      string   `json:"kind"`
+	Status    string   `json:"status"` // "dispatched", "returned", "rejected"
+	Itinerary []string `json:"itinerary"`
+}
+
+// Server is one Buyer Agent Server. Construct with New; always Close it.
+type Server struct {
+	host       *aglet.Host
+	reg        *aglet.Registry
+	engine     *recommend.Engine
+	userDB     *kvstore.Store
+	bsmDB      *kvstore.Store
+	tracer     *trace.Recorder
+	signer     *security.Signer
+	tokens     *security.TokenIssuer
+	challenger *security.Challenger
+
+	mu       sync.Mutex
+	markets  []string
+	pending  map[string]chan TaskResult
+	taskSeq  int
+	closed   bool
+	tokenTTL time.Duration
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithTracer records workflow steps into r.
+func WithTracer(r *trace.Recorder) Option {
+	return func(s *Server) { s.tracer = r }
+}
+
+// WithMarkets sets the marketplaces Mobile Buyer Agents visit, in itinerary
+// order.
+func WithMarkets(addrs ...string) Option {
+	return func(s *Server) { s.markets = append([]string(nil), addrs...) }
+}
+
+// WithEngine replaces the recommendation engine (e.g. to tune neighbourhood
+// size or the discard tolerance).
+func WithEngine(e *recommend.Engine) Option {
+	return func(s *Server) { s.engine = e }
+}
+
+// WithUserDB uses a pre-opened (possibly durable) UserDB store.
+func WithUserDB(db *kvstore.Store) Option {
+	return func(s *Server) { s.userDB = db }
+}
+
+// WithTokenTTL bounds MBA travel tokens (default one hour).
+func WithTokenTTL(ttl time.Duration) Option {
+	return func(s *Server) {
+		if ttl > 0 {
+			s.tokenTTL = ttl
+		}
+	}
+}
+
+// New creates a Buyer Agent Server on host, wiring all resident agents. The
+// registry must be host-specific: New registers the bsma/pa/httpa/bra/mba
+// factories on it. engine must not be nil unless WithEngine is given — pass
+// the platform's shared engine built over the integrated catalog.
+//
+// If coordCA is non-nil, creation follows Fig 4.1: the server requests
+// admission from the Coordinator Agent (step 1) and the BSMA arrives by
+// dispatch (steps 2–3) before setting up PA, HttpA and the databases
+// (steps 4–6). With a nil coordCA the BSMA is created locally (standalone
+// mode, same steps 4–6).
+func New(host *aglet.Host, reg *aglet.Registry, engine *recommend.Engine, coordCA *aglet.Proxy, opts ...Option) (*Server, error) {
+	signer, err := security.NewRandomSigner()
+	if err != nil {
+		return nil, fmt.Errorf("buyerserver: %w", err)
+	}
+	s := &Server{
+		host:     host,
+		reg:      reg,
+		engine:   engine,
+		userDB:   kvstore.New(),
+		bsmDB:    kvstore.New(),
+		signer:   signer,
+		pending:  make(map[string]chan TaskResult),
+		tokenTTL: time.Hour,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.tokens = security.NewTokenIssuer(s.signer, nil)
+	s.challenger = security.NewChallenger(s.signer)
+	if s.engine == nil {
+		return nil, errors.New("buyerserver: nil recommendation engine")
+	}
+
+	reg.Register(coordinator.BSMAType, func() aglet.Aglet { return &bsmaAgent{srv: s} })
+	reg.Register("pa", func() aglet.Aglet { return &paAgent{srv: s} })
+	reg.Register("httpa", func() aglet.Aglet { return &httpaAgent{srv: s} })
+	reg.Register("bra", func() aglet.Aglet { return &braAgent{srv: s} })
+	RegisterMBAType(reg)
+
+	if coordCA != nil {
+		// Fig 4.1 step 1: ask the coordinator to set us up; the CA creates
+		// and dispatches the BSMA (steps 2–3), which performs steps 4–6 in
+		// its OnArrival on this host.
+		req, err := json.Marshal(coordinator.AdmitRequest{Name: host.Name(), Addr: host.Name()})
+		if err != nil {
+			return nil, fmt.Errorf("buyerserver: encoding admission request: %w", err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if _, err := coordCA.Send(ctx, aglet.Message{Kind: coordinator.KindAdmit, Data: req}); err != nil {
+			return nil, fmt.Errorf("buyerserver: admission: %w", err)
+		}
+		if err := s.waitFor(ctx, BSMAID); err != nil {
+			return nil, fmt.Errorf("buyerserver: BSMA never arrived: %w", err)
+		}
+	} else {
+		if _, err := host.Create(coordinator.BSMAType, BSMAID, []byte(host.Name())); err != nil {
+			return nil, fmt.Errorf("buyerserver: creating BSMA: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// waitFor polls until agent id is live on the host or ctx expires.
+func (s *Server) waitFor(ctx context.Context, id string) error {
+	for !s.host.Has(id) {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+	return nil
+}
+
+// Host returns the server's aglet host.
+func (s *Server) Host() *aglet.Host { return s.host }
+
+// Engine returns the recommendation engine.
+func (s *Server) Engine() *recommend.Engine { return s.engine }
+
+// Tracer returns the workflow tracer (possibly nil).
+func (s *Server) Tracer() *trace.Recorder { return s.tracer }
+
+// Markets returns the marketplaces MBAs will visit.
+func (s *Server) Markets() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.markets...)
+}
+
+// SetMarkets replaces the marketplace itinerary.
+func (s *Server) SetMarkets(addrs ...string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.markets = append([]string(nil), addrs...)
+}
+
+// Close shuts down all resident agents and the databases.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.host.Close()
+	if dberr := s.userDB.Close(); err == nil {
+		err = dberr
+	}
+	if dberr := s.bsmDB.Close(); err == nil {
+		err = dberr
+	}
+	return err
+}
+
+// --- consumer account operations (driven through the agents) ---
+
+// Register creates a consumer account and an empty profile. Per §4.1
+// principle 1, no BRA is created at registration.
+func (s *Server) Register(ctx context.Context, userID string) error {
+	_, err := s.sendBSMA(ctx, kindRegister, userReq{UserID: userID})
+	return err
+}
+
+// Login brings the consumer online: the BSMA creates their BRA and loads
+// the profile (§4.1 principle 1). Results that completed while the consumer
+// was offline are returned (§3.2: the mechanism serves consumers offline).
+func (s *Server) Login(ctx context.Context, userID string) ([]TaskResult, error) {
+	reply, err := s.sendBSMA(ctx, kindLogin, userReq{UserID: userID})
+	if err != nil {
+		return nil, err
+	}
+	var lr loginReply
+	if err := json.Unmarshal(reply.Data, &lr); err != nil {
+		return nil, fmt.Errorf("buyerserver: decoding login reply: %w", err)
+	}
+	return lr.Inbox, nil
+}
+
+// Logout takes the consumer offline and terminates their BRA (§4.1
+// principle 1).
+func (s *Server) Logout(ctx context.Context, userID string) error {
+	_, err := s.sendBSMA(ctx, kindLogout, userReq{UserID: userID})
+	return err
+}
+
+// Online reports whether userID has a live or parked BRA.
+func (s *Server) Online(userID string) bool {
+	return s.host.Has(braID(userID)) || s.host.HasStored(braID(userID))
+}
+
+// Recommendations returns personalized recommendations outside any task
+// (the "browsing" entry of Fig 3.2).
+func (s *Server) Recommendations(userID, category string, n int) ([]recommend.Rec, error) {
+	return s.engine.Recommend(recommend.StrategyAuto, userID, category, n)
+}
+
+func (s *Server) sendBSMA(ctx context.Context, kind string, v any) (aglet.Message, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return aglet.Message{}, fmt.Errorf("buyerserver: encoding %s: %w", kind, err)
+	}
+	return s.host.Send(ctx, BSMAID, aglet.Message{Kind: kind, Data: data})
+}
+
+func braID(userID string) string { return "bra:" + userID }
+
+// nextTaskID allocates a unique task id.
+func (s *Server) nextTaskID() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.taskSeq++
+	return fmt.Sprintf("task-%06d", s.taskSeq)
+}
+
+// registerPending creates the rendezvous channel the task's waiter blocks
+// on. The channel is buffered so a completion with no waiter (consumer
+// logged out) never blocks the BSMA.
+func (s *Server) registerPending(taskID string) chan TaskResult {
+	ch := make(chan TaskResult, 1)
+	s.mu.Lock()
+	s.pending[taskID] = ch
+	s.mu.Unlock()
+	return ch
+}
+
+func (s *Server) fulfil(taskID string, res TaskResult) {
+	s.mu.Lock()
+	ch, ok := s.pending[taskID]
+	delete(s.pending, taskID)
+	s.mu.Unlock()
+	if ok {
+		ch <- res
+	}
+}
+
+func (s *Server) dropPending(taskID string) {
+	s.mu.Lock()
+	delete(s.pending, taskID)
+	s.mu.Unlock()
+}

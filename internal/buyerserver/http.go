@@ -1,0 +1,195 @@
+package buyerserver
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"agentrec/internal/recommend"
+)
+
+// HTTPHandler returns the web interface of the mechanism: "HttpA provides
+// the Web interface, let users can use the browser to use all service of
+// Buyer Agent Server" (§3.3). Routes:
+//
+//	POST /users            {"user_id": "..."}                  register
+//	POST /login            {"user_id": "..."}                  login (returns offline inbox)
+//	POST /logout           {"user_id": "..."}                  logout
+//	POST /tasks            {"user_id": "...", "spec": {...}}   run a shopping task
+//	GET  /recommendations  ?user=&category=&n=                 browse recommendations
+//
+// Each route converts the request into agent messages; the shopping task
+// route blocks until the Mobile Buyer Agent's round trip completes.
+func (s *Server) HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /users", s.handleAccount(kindRegister))
+	mux.HandleFunc("POST /login", s.handleLogin)
+	mux.HandleFunc("POST /logout", s.handleAccount(kindLogout))
+	mux.HandleFunc("POST /tasks", s.handleTask)
+	mux.HandleFunc("GET /recommendations", s.handleRecommendations)
+	mux.HandleFunc("GET /trending", s.handleTrending)
+	mux.HandleFunc("GET /tiedsales", s.handleTiedSales)
+	return mux
+}
+
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrUserExists), errors.Is(err, ErrAlreadyOnline):
+		return http.StatusConflict
+	case errors.Is(err, ErrUnknownUser), errors.Is(err, ErrNotLoggedIn):
+		return http.StatusNotFound
+	case errors.Is(err, ErrAuthFailed):
+		return http.StatusForbidden
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handleAccount(kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req userReq
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.UserID == "" {
+			writeJSON(w, http.StatusBadRequest, httpError{Error: "body must be {\"user_id\": ...}"})
+			return
+		}
+		msg, err := marshalMsg(kind, req)
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, httpError{Error: err.Error()})
+			return
+		}
+		if _, err := s.host.Send(r.Context(), HttpAID, msg); err != nil {
+			writeJSON(w, statusFor(err), httpError{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	}
+}
+
+func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
+	var req userReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.UserID == "" {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "body must be {\"user_id\": ...}"})
+		return
+	}
+	msg, err := marshalMsg(kindLogin, req)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, httpError{Error: err.Error()})
+		return
+	}
+	reply, err := s.host.Send(r.Context(), HttpAID, msg)
+	if err != nil {
+		writeJSON(w, statusFor(err), httpError{Error: err.Error()})
+		return
+	}
+	var lr loginReply
+	if err := json.Unmarshal(reply.Data, &lr); err != nil {
+		writeJSON(w, http.StatusInternalServerError, httpError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, lr)
+}
+
+func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		UserID string   `json:"user_id"`
+		Spec   TaskSpec `json:"spec"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.UserID == "" {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "body must be {\"user_id\": ..., \"spec\": {...}}"})
+		return
+	}
+	if req.Spec.Kind == "" {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "spec.kind is required"})
+		return
+	}
+	res, err := s.RunTask(r.Context(), req.UserID, req.Spec)
+	if err != nil {
+		writeJSON(w, statusFor(err), httpError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleTrending serves the "weekly hottest merchandise" listing (§5.2):
+// GET /trending?window=168h&n=10.
+func (s *Server) handleTrending(w http.ResponseWriter, r *http.Request) {
+	window := 7 * 24 * time.Hour
+	if raw := r.URL.Query().Get("window"); raw != "" {
+		parsed, err := time.ParseDuration(raw)
+		if err != nil || parsed <= 0 {
+			writeJSON(w, http.StatusBadRequest, httpError{Error: fmt.Sprintf("bad window %q", raw)})
+			return
+		}
+		window = parsed
+	}
+	n := 10
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		parsed, err := strconv.Atoi(raw)
+		if err != nil || parsed <= 0 {
+			writeJSON(w, http.StatusBadRequest, httpError{Error: fmt.Sprintf("bad n %q", raw)})
+			return
+		}
+		n = parsed
+	}
+	writeJSON(w, http.StatusOK, s.engine.Trending(time.Now(), window, n))
+}
+
+// handleTiedSales serves frequently-bought-together associations (§5.2):
+// GET /tiedsales?product=lap1&n=5.
+func (s *Server) handleTiedSales(w http.ResponseWriter, r *http.Request) {
+	product := r.URL.Query().Get("product")
+	if product == "" {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "product parameter required"})
+		return
+	}
+	n := 10
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		parsed, err := strconv.Atoi(raw)
+		if err != nil || parsed <= 0 {
+			writeJSON(w, http.StatusBadRequest, httpError{Error: fmt.Sprintf("bad n %q", raw)})
+			return
+		}
+		n = parsed
+	}
+	ties := s.engine.TiedSales(product, 1, n)
+	if ties == nil {
+		ties = []recommend.TiedSale{}
+	}
+	writeJSON(w, http.StatusOK, ties)
+}
+
+func (s *Server) handleRecommendations(w http.ResponseWriter, r *http.Request) {
+	user := r.URL.Query().Get("user")
+	if user == "" {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "user parameter required"})
+		return
+	}
+	n := 10
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		parsed, err := strconv.Atoi(raw)
+		if err != nil || parsed <= 0 {
+			writeJSON(w, http.StatusBadRequest, httpError{Error: fmt.Sprintf("bad n %q", raw)})
+			return
+		}
+		n = parsed
+	}
+	recs, err := s.Recommendations(user, r.URL.Query().Get("category"), n)
+	if err != nil {
+		writeJSON(w, statusFor(err), httpError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, recs)
+}

@@ -1,0 +1,61 @@
+package buyerserver
+
+import "agentrec/internal/trace"
+
+// The figures of §4 are reproduced as machine-checkable step tables. The
+// scanned figures label arrows only with numbers; the actor sequences below
+// are the reconstruction documented in DESIGN.md, with the step counts
+// matching the figures exactly: 6 steps for creation (Fig 4.1), 15 for the
+// merchandise query (Fig 4.2), 14 for buy/auction (Fig 4.3). Conformance
+// tests run one canonical workflow instance (a single marketplace, so the
+// migrate/return pair appears once, as drawn) and Verify the recorded trace
+// against these tables.
+
+// CreationWorkflow is Fig 4.1: how a Buyer Agent Server comes to exist.
+var CreationWorkflow = []trace.Expectation{
+	{Step: 1, From: "Server", To: "CA"},  // request to be buyer agent server
+	{Step: 2, From: "CA", To: "BSMA"},    // create BSMA agent
+	{Step: 3, From: "CA", To: "BSMA"},    // dispatch BSMA
+	{Step: 4, From: "BSMA", To: "PA"},    // create profile agent
+	{Step: 5, From: "BSMA", To: "HttpA"}, // create HttpA agent
+	{Step: 6, From: "BSMA", To: "DB"},    // initialize databases
+}
+
+// QueryWorkflow is Fig 4.2: the merchandise query with recommendation
+// generation.
+var QueryWorkflow = []trace.Expectation{
+	{Step: 1, From: "Buyer", To: "HttpA"},      // query request
+	{Step: 2, From: "HttpA", To: "BSMA"},       // forward request
+	{Step: 3, From: "BSMA", To: "BRA"},         // assign query task
+	{Step: 4, From: "BRA", To: "UserDB"},       // load consumer profile
+	{Step: 5, From: "UserDB", To: "BRA"},       // profile loaded
+	{Step: 6, From: "BRA", To: "MBA"},          // create MBA, assign task
+	{Step: 7, From: "BRA", To: "BSMA"},         // note MBA information
+	{Step: 8, From: "BSMA", To: "BSMDB"},       // record MBA; deactivate BRA
+	{Step: 9, From: "MBA", To: "Marketplace"},  // migrate and query
+	{Step: 10, From: "Marketplace", To: "MBA"}, // query results
+	{Step: 11, From: "MBA", To: "BSMA"},        // return home, authenticate
+	{Step: 12, From: "BSMA", To: "BRA"},        // activate BRA, deliver results
+	{Step: 13, From: "BRA", To: "PA"},          // report behaviour
+	{Step: 14, From: "PA", To: "UserDB"},       // update profile
+	{Step: 15, From: "BRA", To: "Buyer"},       // recommendation information
+}
+
+// BuyWorkflow is Fig 4.3: buy or auction. Identical shape minus the
+// separate BSMDB step (folded into step 7 in the figure).
+var BuyWorkflow = []trace.Expectation{
+	{Step: 1, From: "Buyer", To: "HttpA"},
+	{Step: 2, From: "HttpA", To: "BSMA"},
+	{Step: 3, From: "BSMA", To: "BRA"},
+	{Step: 4, From: "BRA", To: "UserDB"},
+	{Step: 5, From: "UserDB", To: "BRA"},
+	{Step: 6, From: "BRA", To: "MBA"},
+	{Step: 7, From: "BRA", To: "BSMA"},
+	{Step: 8, From: "MBA", To: "Marketplace"}, // migrate, execute buy/auction
+	{Step: 9, From: "Marketplace", To: "MBA"}, // transaction result
+	{Step: 10, From: "MBA", To: "BSMA"},       // return home, authenticate
+	{Step: 11, From: "BSMA", To: "BRA"},       // activate BRA, deliver result
+	{Step: 12, From: "BRA", To: "PA"},         // report behaviour
+	{Step: 13, From: "PA", To: "UserDB"},      // update profile + transaction
+	{Step: 14, From: "BRA", To: "Buyer"},      // confirmation
+}

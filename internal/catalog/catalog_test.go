@@ -1,0 +1,223 @@
+package catalog
+
+import (
+	"errors"
+	"testing"
+
+	"agentrec/internal/profile"
+)
+
+func prod(id, cat string, price int64, terms map[string]float64) *Product {
+	return &Product{
+		ID: id, Name: "Product " + id, Category: cat,
+		Terms: terms, PriceCents: price, SellerID: "s1", Stock: 10,
+	}
+}
+
+func TestAddGetRoundTrip(t *testing.T) {
+	c := New()
+	p := prod("p1", "laptop", 99900, map[string]float64{"ssd": 1})
+	if err := c.Add(p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "Product p1" || got.PriceCents != 99900 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestAddValidates(t *testing.T) {
+	c := New()
+	if err := c.Add(&Product{Category: "x"}); !errors.Is(err, ErrNoID) {
+		t.Errorf("missing id: %v", err)
+	}
+	if err := c.Add(&Product{ID: "p"}); !errors.Is(err, ErrNoCategory) {
+		t.Errorf("missing category: %v", err)
+	}
+	if err := c.Add(&Product{ID: "p", Category: "c", PriceCents: -1}); !errors.Is(err, ErrBadPrice) {
+		t.Errorf("negative price: %v", err)
+	}
+}
+
+func TestAddDuplicate(t *testing.T) {
+	c := New()
+	c.Add(prod("p1", "laptop", 1, nil))
+	if err := c.Add(prod("p1", "laptop", 2, nil)); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("duplicate add: %v", err)
+	}
+}
+
+func TestUpsertReplaces(t *testing.T) {
+	c := New()
+	c.Add(prod("p1", "laptop", 100, nil))
+	if err := c.Upsert(prod("p1", "laptop", 200, nil)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := c.Get("p1")
+	if got.PriceCents != 200 {
+		t.Errorf("price = %d after upsert", got.PriceCents)
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	c := New()
+	c.Add(prod("p1", "laptop", 100, map[string]float64{"ssd": 1}))
+	got, _ := c.Get("p1")
+	got.Terms["ssd"] = 999
+	got2, _ := c.Get("p1")
+	if got2.Terms["ssd"] != 1 {
+		t.Error("Get aliases catalog internals")
+	}
+}
+
+func TestAddCopiesProduct(t *testing.T) {
+	c := New()
+	p := prod("p1", "laptop", 100, map[string]float64{"ssd": 1})
+	c.Add(p)
+	p.Terms["ssd"] = 999
+	got, _ := c.Get("p1")
+	if got.Terms["ssd"] != 1 {
+		t.Error("Add aliased caller's product")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := New()
+	c.Add(prod("p1", "laptop", 1, nil))
+	if err := c.Remove("p1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Remove("p1"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("second remove: %v", err)
+	}
+}
+
+func TestAdjustStock(t *testing.T) {
+	c := New()
+	c.Add(prod("p1", "laptop", 1, nil)) // stock 10
+	n, err := c.AdjustStock("p1", -3)
+	if err != nil || n != 7 {
+		t.Fatalf("AdjustStock = %d, %v", n, err)
+	}
+	if _, err := c.AdjustStock("p1", -100); err == nil {
+		t.Fatal("oversell allowed")
+	}
+	if _, err := c.AdjustStock("ghost", 1); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing product: %v", err)
+	}
+}
+
+func TestSearchFiltersAndRanks(t *testing.T) {
+	c := New()
+	c.Add(prod("cheap-match", "laptop", 50000, map[string]float64{"ssd": 0.5}))
+	c.Add(prod("strong-match", "laptop", 90000, map[string]float64{"ssd": 2}))
+	c.Add(prod("other-cat", "camera", 10000, map[string]float64{"ssd": 9}))
+	c.Add(prod("no-term", "laptop", 100, map[string]float64{"hdd": 1}))
+
+	got := c.Search(Query{Category: "laptop", Terms: []string{"ssd"}})
+	if len(got) != 2 {
+		t.Fatalf("Search = %d matches, want 2", len(got))
+	}
+	if got[0].Product.ID != "strong-match" {
+		t.Errorf("first = %s, want strong-match", got[0].Product.ID)
+	}
+}
+
+func TestSearchPriceCapAndLimit(t *testing.T) {
+	c := New()
+	c.Add(prod("a", "laptop", 100, map[string]float64{"x": 1}))
+	c.Add(prod("b", "laptop", 200, map[string]float64{"x": 1}))
+	c.Add(prod("c", "laptop", 300, map[string]float64{"x": 1}))
+	got := c.Search(Query{Category: "laptop", MaxPrice: 250})
+	if len(got) != 2 {
+		t.Fatalf("MaxPrice filter: %d matches", len(got))
+	}
+	got = c.Search(Query{Category: "laptop", Limit: 1})
+	if len(got) != 1 {
+		t.Fatalf("Limit: %d matches", len(got))
+	}
+	// Category-only query ranks by price ascending.
+	if got[0].Product.ID != "a" {
+		t.Errorf("cheapest first, got %s", got[0].Product.ID)
+	}
+}
+
+func TestSearchSkipsOutOfStock(t *testing.T) {
+	c := New()
+	p := prod("gone", "laptop", 100, map[string]float64{"x": 1})
+	p.Stock = 0
+	c.Add(p)
+	if got := c.Search(Query{Category: "laptop"}); len(got) != 0 {
+		t.Errorf("out-of-stock product returned: %v", got)
+	}
+}
+
+func TestSearchSubCategory(t *testing.T) {
+	c := New()
+	p := prod("nb", "computer", 100, map[string]float64{"x": 1})
+	p.SubCategory = "notebook"
+	c.Add(p)
+	p2 := prod("dt", "computer", 100, map[string]float64{"x": 1})
+	p2.SubCategory = "desktop"
+	c.Add(p2)
+	got := c.Search(Query{Category: "computer", SubCategory: "notebook"})
+	if len(got) != 1 || got[0].Product.ID != "nb" {
+		t.Errorf("sub-category filter: %v", got)
+	}
+}
+
+func TestCategoriesAndLenAndAll(t *testing.T) {
+	c := New()
+	c.Add(prod("a", "laptop", 1, nil))
+	c.Add(prod("b", "camera", 1, nil))
+	cats := c.Categories()
+	if len(cats) != 2 || cats[0] != "camera" || cats[1] != "laptop" {
+		t.Errorf("Categories = %v", cats)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	all := c.All()
+	if len(all) != 2 || all[0].ID != "a" {
+		t.Errorf("All = %v", all)
+	}
+}
+
+func TestProductEvidence(t *testing.T) {
+	p := prod("p1", "computer", 100, map[string]float64{"fast": 0.9})
+	p.SubCategory = "notebook"
+	ev := p.Evidence(profile.BehaviourBuy)
+	if ev.Category != "computer" || ev.SubCategory != "notebook" {
+		t.Errorf("evidence categories: %+v", ev)
+	}
+	if ev.Terms["fast"] != 0.9 || ev.SubTerms["fast"] != 0.9 {
+		t.Errorf("evidence terms: %+v", ev)
+	}
+	// Evidence must not alias the product's map.
+	ev.Terms["fast"] = 42
+	if p.Terms["fast"] != 0.9 {
+		t.Error("Evidence aliased product terms")
+	}
+	// Profile accepts it directly.
+	prof := profile.NewProfile("u")
+	if err := prof.Observe(ev); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizeCategory(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"Laptop", "laptop"},
+		{"  Home   Audio  ", "home-audio"},
+		{"", ""},
+		{"GAMING  PC", "gaming-pc"},
+	}
+	for _, tt := range tests {
+		if got := NormalizeCategory(tt.in); got != tt.want {
+			t.Errorf("NormalizeCategory(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}

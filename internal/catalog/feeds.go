@@ -1,0 +1,212 @@
+package catalog
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The paper's abstract names the first drawback of 2004-era online markets:
+// "Because of the different product data format in database and
+// representation, it is difficult to exchange information between the two
+// online markets." The Seller Server's job is to integrate heterogeneous
+// merchandise data. This file implements two deliberately different feed
+// formats — a JSON feed and a legacy CSV feed with different field
+// conventions — and an Integrator that normalizes both into Products.
+
+// ErrBadFeed reports an unparseable feed.
+var ErrBadFeed = errors.New("catalog: malformed feed")
+
+// jsonFeedItem is the "modern" feed shape: keywords without weights,
+// price in cents, explicit subcategory field.
+type jsonFeedItem struct {
+	SKU        string   `json:"sku"`
+	Title      string   `json:"title"`
+	Cat        string   `json:"cat"`
+	SubCat     string   `json:"subcat"`
+	Keywords   []string `json:"keywords"`
+	PriceCents int64    `json:"price_cents"`
+	Qty        int      `json:"qty"`
+}
+
+// ParseJSONFeed reads a JSON array of feed items from r and normalizes it.
+// Keywords become terms with weight 1. Categories are canonicalized.
+func ParseJSONFeed(r io.Reader, sellerID string) ([]*Product, error) {
+	var items []jsonFeedItem
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&items); err != nil {
+		return nil, fmt.Errorf("%w: json: %v", ErrBadFeed, err)
+	}
+	out := make([]*Product, 0, len(items))
+	for i, it := range items {
+		if it.SKU == "" {
+			return nil, fmt.Errorf("%w: json item %d: missing sku", ErrBadFeed, i)
+		}
+		terms := make(map[string]float64, len(it.Keywords))
+		for _, kw := range it.Keywords {
+			kw = strings.ToLower(strings.TrimSpace(kw))
+			if kw != "" {
+				terms[kw] = 1
+			}
+		}
+		p := &Product{
+			ID:          sellerID + ":" + it.SKU,
+			Name:        it.Title,
+			Category:    NormalizeCategory(it.Cat),
+			SubCategory: NormalizeCategory(it.SubCat),
+			Terms:       terms,
+			PriceCents:  it.PriceCents,
+			SellerID:    sellerID,
+			Stock:       it.Qty,
+		}
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: json item %d: %v", ErrBadFeed, i, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// ParseCSVFeed reads the legacy comma-separated feed:
+//
+//	id,name,category>subcategory,term:weight;term:weight,price_dollars,stock
+//
+// Prices are decimal dollars ("129.99"); term weights are attached with
+// colons and separated by semicolons; the category path uses '>'.
+func ParseCSVFeed(r io.Reader, sellerID string) ([]*Product, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 6
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("%w: csv: %v", ErrBadFeed, err)
+	}
+	out := make([]*Product, 0, len(records))
+	for i, rec := range records {
+		id, name, catPath, termSpec, priceStr, stockStr := rec[0], rec[1], rec[2], rec[3], rec[4], rec[5]
+		if id == "" {
+			return nil, fmt.Errorf("%w: csv row %d: missing id", ErrBadFeed, i+1)
+		}
+		cat, sub := catPath, ""
+		if idx := strings.IndexByte(catPath, '>'); idx >= 0 {
+			cat, sub = catPath[:idx], catPath[idx+1:]
+		}
+		terms := make(map[string]float64)
+		if termSpec != "" {
+			for _, pair := range strings.Split(termSpec, ";") {
+				term, weightStr, found := strings.Cut(pair, ":")
+				term = strings.ToLower(strings.TrimSpace(term))
+				if term == "" {
+					continue
+				}
+				weight := 1.0
+				if found {
+					weight, err = strconv.ParseFloat(strings.TrimSpace(weightStr), 64)
+					if err != nil || weight < 0 {
+						return nil, fmt.Errorf("%w: csv row %d: bad term weight %q", ErrBadFeed, i+1, pair)
+					}
+				}
+				terms[term] = weight
+			}
+		}
+		price, err := parseDollars(priceStr)
+		if err != nil {
+			return nil, fmt.Errorf("%w: csv row %d: %v", ErrBadFeed, i+1, err)
+		}
+		stock, err := strconv.Atoi(strings.TrimSpace(stockStr))
+		if err != nil {
+			return nil, fmt.Errorf("%w: csv row %d: bad stock %q", ErrBadFeed, i+1, stockStr)
+		}
+		p := &Product{
+			ID:          sellerID + ":" + id,
+			Name:        name,
+			Category:    NormalizeCategory(cat),
+			SubCategory: NormalizeCategory(sub),
+			Terms:       terms,
+			PriceCents:  price,
+			SellerID:    sellerID,
+			Stock:       stock,
+		}
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: csv row %d: %v", ErrBadFeed, i+1, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// parseDollars converts a decimal dollar string ("129.99", "5", "0.5") to
+// cents without floating-point rounding.
+func parseDollars(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("empty price")
+	}
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		return 0, fmt.Errorf("negative price %q", s)
+	}
+	whole, frac, _ := strings.Cut(s, ".")
+	if whole == "" {
+		whole = "0"
+	}
+	dollars, err := strconv.ParseInt(whole, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad price %q", s)
+	}
+	cents := int64(0)
+	if frac != "" {
+		if len(frac) > 2 {
+			frac = frac[:2] // truncate sub-cent precision
+		}
+		for len(frac) < 2 {
+			frac += "0"
+		}
+		cents, err = strconv.ParseInt(frac, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad price %q", s)
+		}
+	}
+	return dollars*100 + cents, nil
+}
+
+// Integrator merges heterogeneous seller feeds into one catalog, reporting
+// per-feed counts: the Seller Server's "integrating and cataloging" duty.
+type Integrator struct {
+	catalog *Catalog
+}
+
+// NewIntegrator returns an integrator writing into cat.
+func NewIntegrator(cat *Catalog) *Integrator {
+	return &Integrator{catalog: cat}
+}
+
+// IntegrateJSON parses a JSON feed and upserts its products.
+func (in *Integrator) IntegrateJSON(r io.Reader, sellerID string) (int, error) {
+	ps, err := ParseJSONFeed(r, sellerID)
+	if err != nil {
+		return 0, err
+	}
+	return in.upsertAll(ps)
+}
+
+// IntegrateCSV parses a legacy CSV feed and upserts its products.
+func (in *Integrator) IntegrateCSV(r io.Reader, sellerID string) (int, error) {
+	ps, err := ParseCSVFeed(r, sellerID)
+	if err != nil {
+		return 0, err
+	}
+	return in.upsertAll(ps)
+}
+
+func (in *Integrator) upsertAll(ps []*Product) (int, error) {
+	for i, p := range ps {
+		if err := in.catalog.Upsert(p); err != nil {
+			return i, fmt.Errorf("catalog: integrating %s: %w", p.ID, err)
+		}
+	}
+	return len(ps), nil
+}

@@ -1,0 +1,166 @@
+package catalog
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+const jsonFeed = `[
+  {"sku":"NB-100","title":"UltraBook 13","cat":"Computer","subcat":"Notebook",
+   "keywords":["Light","SSD","13inch"],"price_cents":129900,"qty":5},
+  {"sku":"NB-200","title":"GameBook 17","cat":"computer","subcat":"NOTEBOOK",
+   "keywords":["gpu","rgb"],"price_cents":229900,"qty":2}
+]`
+
+const csvFeed = `L-1,Legacy Laptop,Computer>Notebook,light:0.8;ssd:1.0,999.99,3
+L-2,Legacy Tower,Computer>Desktop,quiet;big:2,450,7`
+
+func TestParseJSONFeed(t *testing.T) {
+	ps, err := ParseJSONFeed(strings.NewReader(jsonFeed), "sellerA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 {
+		t.Fatalf("parsed %d products", len(ps))
+	}
+	p := ps[0]
+	if p.ID != "sellerA:NB-100" {
+		t.Errorf("ID = %s", p.ID)
+	}
+	if p.Category != "computer" || p.SubCategory != "notebook" {
+		t.Errorf("categories not normalized: %s/%s", p.Category, p.SubCategory)
+	}
+	if p.Terms["ssd"] != 1 || p.Terms["light"] != 1 {
+		t.Errorf("terms = %v", p.Terms)
+	}
+	if p.PriceCents != 129900 || p.Stock != 5 {
+		t.Errorf("price/stock = %d/%d", p.PriceCents, p.Stock)
+	}
+}
+
+func TestParseJSONFeedErrors(t *testing.T) {
+	if _, err := ParseJSONFeed(strings.NewReader("not json"), "s"); !errors.Is(err, ErrBadFeed) {
+		t.Errorf("garbage: %v", err)
+	}
+	if _, err := ParseJSONFeed(strings.NewReader(`[{"title":"no sku"}]`), "s"); !errors.Is(err, ErrBadFeed) {
+		t.Errorf("missing sku: %v", err)
+	}
+	if _, err := ParseJSONFeed(strings.NewReader(`[{"sku":"x","title":"no cat"}]`), "s"); !errors.Is(err, ErrBadFeed) {
+		t.Errorf("missing category: %v", err)
+	}
+}
+
+func TestParseCSVFeed(t *testing.T) {
+	ps, err := ParseCSVFeed(strings.NewReader(csvFeed), "sellerB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 {
+		t.Fatalf("parsed %d products", len(ps))
+	}
+	p := ps[0]
+	if p.ID != "sellerB:L-1" {
+		t.Errorf("ID = %s", p.ID)
+	}
+	if p.Category != "computer" || p.SubCategory != "notebook" {
+		t.Errorf("category path not split: %s/%s", p.Category, p.SubCategory)
+	}
+	if p.Terms["light"] != 0.8 || p.Terms["ssd"] != 1.0 {
+		t.Errorf("weighted terms = %v", p.Terms)
+	}
+	// 999.99 dollars = 99999 cents, no float rounding.
+	if p.PriceCents != 99999 {
+		t.Errorf("price = %d, want 99999", p.PriceCents)
+	}
+	// Unweighted term defaults to 1; "big:2" keeps 2.
+	p2 := ps[1]
+	if p2.Terms["quiet"] != 1 || p2.Terms["big"] != 2 {
+		t.Errorf("terms = %v", p2.Terms)
+	}
+	if p2.PriceCents != 45000 {
+		t.Errorf("whole-dollar price = %d, want 45000", p2.PriceCents)
+	}
+}
+
+func TestParseCSVFeedErrors(t *testing.T) {
+	cases := []string{
+		`only,three,fields`,
+		`id,name,cat,term:notanumber,1.00,1`,
+		`id,name,cat,term:1,notaprice,1`,
+		`id,name,cat,term:1,1.00,notastock`,
+		`,name,cat,term:1,1.00,1`,
+	}
+	for _, in := range cases {
+		if _, err := ParseCSVFeed(strings.NewReader(in), "s"); !errors.Is(err, ErrBadFeed) {
+			t.Errorf("ParseCSVFeed(%q) = %v, want ErrBadFeed", in, err)
+		}
+	}
+}
+
+func TestParseDollars(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    int64
+		wantErr bool
+	}{
+		{"129.99", 12999, false},
+		{"5", 500, false},
+		{"0.5", 50, false},
+		{"0.05", 5, false},
+		{"10.999", 1099, false}, // sub-cent truncated
+		{"", 0, true},
+		{"-3", 0, true},
+		{"abc", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := parseDollars(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parseDollars(%q) err = %v", tt.in, err)
+			continue
+		}
+		if !tt.wantErr && got != tt.want {
+			t.Errorf("parseDollars(%q) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestIntegratorMergesHeterogeneousFeeds(t *testing.T) {
+	// The headline scenario: two sellers with different data formats end up
+	// in one searchable catalog with comparable categories.
+	cat := New()
+	in := NewIntegrator(cat)
+	nJSON, err := in.IntegrateJSON(strings.NewReader(jsonFeed), "sellerA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nCSV, err := in.IntegrateCSV(strings.NewReader(csvFeed), "sellerB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nJSON != 2 || nCSV != 2 {
+		t.Fatalf("integrated %d+%d, want 2+2", nJSON, nCSV)
+	}
+	// Cross-seller search in the unified category space.
+	got := cat.Search(Query{Category: "computer", SubCategory: "notebook", Terms: []string{"ssd"}})
+	if len(got) != 2 {
+		t.Fatalf("cross-seller search found %d, want 2 (one per seller)", len(got))
+	}
+	sellers := map[string]bool{}
+	for _, m := range got {
+		sellers[m.Product.SellerID] = true
+	}
+	if !sellers["sellerA"] || !sellers["sellerB"] {
+		t.Errorf("results not cross-seller: %v", sellers)
+	}
+}
+
+func TestIntegratorPropagatesParseErrors(t *testing.T) {
+	in := NewIntegrator(New())
+	if _, err := in.IntegrateJSON(strings.NewReader("x"), "s"); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+	if _, err := in.IntegrateCSV(strings.NewReader("x"), "s"); err == nil {
+		t.Fatal("bad CSV accepted")
+	}
+}

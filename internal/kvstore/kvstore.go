@@ -1,0 +1,554 @@
+// Package kvstore is the embedded storage substrate standing in for the
+// paper's unspecified databases (UserDB, BSMDB, seller catalogs). It is a
+// bucketed key-value store with:
+//
+//   - atomic multi-key batches,
+//   - ordered prefix scans (the only query shape the paper's workflows need),
+//   - optional durability through an append-only write-ahead log that is
+//     replayed on open, and
+//   - whole-store snapshots for agent deactivation (§4.1 principle 3 stores
+//     a serialized BRA while its MBA is travelling).
+//
+// Values are opaque bytes; EncodeJSON/DecodeJSON helpers cover the common
+// case of structured records.
+package kvstore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Errors returned by the store. Match with errors.Is.
+var (
+	ErrNotFound     = errors.New("kvstore: key not found")
+	ErrClosed       = errors.New("kvstore: store closed")
+	ErrCorruptWAL   = errors.New("kvstore: corrupt write-ahead log")
+	ErrEmptyKey     = errors.New("kvstore: empty key")
+	ErrEmptyBucket  = errors.New("kvstore: empty bucket name")
+	ErrInvalidName  = errors.New("kvstore: bucket name contains NUL")
+	ErrStoreDirty   = errors.New("kvstore: snapshot target not empty")
+	ErrBadSnapshot  = errors.New("kvstore: malformed snapshot")
+	errShortRecord  = errors.New("kvstore: short record")
+	errBadRecordTag = errors.New("kvstore: unknown record tag")
+)
+
+// Op is a single mutation in a Batch.
+type Op struct {
+	Bucket string
+	Key    string
+	Value  []byte // nil means delete
+	Delete bool
+}
+
+// Entry is one key/value pair returned by scans.
+type Entry struct {
+	Key   string
+	Value []byte
+}
+
+// Store is a bucketed in-memory KV store with optional WAL durability.
+// Construct with Open (durable) or New (memory-only). All methods are safe
+// for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	buckets map[string]map[string][]byte
+	wal     *walWriter
+	closed  bool
+}
+
+// New returns a memory-only store.
+func New() *Store {
+	return &Store{buckets: make(map[string]map[string][]byte)}
+}
+
+// Open returns a store persisted to the append-only log at path, replaying
+// any existing log. The file is created if absent.
+func Open(path string) (*Store, error) {
+	s := New()
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: opening %s: %w", path, err)
+	}
+	if err := replayWAL(f, s); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("kvstore: seeking log end: %w", err)
+	}
+	s.wal = &walWriter{f: f, w: bufio.NewWriter(f)}
+	return s, nil
+}
+
+func validate(bucket, key string) error {
+	if bucket == "" {
+		return ErrEmptyBucket
+	}
+	if strings.ContainsRune(bucket, 0) {
+		return ErrInvalidName
+	}
+	if key == "" {
+		return ErrEmptyKey
+	}
+	return nil
+}
+
+// Put stores value under bucket/key, creating the bucket if needed.
+func (s *Store) Put(bucket, key string, value []byte) error {
+	return s.Apply([]Op{{Bucket: bucket, Key: key, Value: value}})
+}
+
+// Delete removes bucket/key. Deleting an absent key is not an error.
+func (s *Store) Delete(bucket, key string) error {
+	return s.Apply([]Op{{Bucket: bucket, Key: key, Delete: true}})
+}
+
+// Apply performs ops atomically: either all mutations are visible (and
+// logged) or none are.
+func (s *Store) Apply(ops []Op) error {
+	for _, op := range ops {
+		if err := validate(op.Bucket, op.Key); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.wal != nil {
+		if err := s.wal.append(ops); err != nil {
+			return err
+		}
+	}
+	for _, op := range ops {
+		b := s.buckets[op.Bucket]
+		if op.Delete {
+			delete(b, op.Key)
+			continue
+		}
+		if b == nil {
+			b = make(map[string][]byte)
+			s.buckets[op.Bucket] = b
+		}
+		v := make([]byte, len(op.Value))
+		copy(v, op.Value)
+		b[op.Key] = v
+	}
+	return nil
+}
+
+// Get returns a copy of the value at bucket/key, or ErrNotFound.
+func (s *Store) Get(bucket, key string) ([]byte, error) {
+	if err := validate(bucket, key); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	v, ok := s.buckets[bucket][key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, bucket, key)
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, nil
+}
+
+// Has reports whether bucket/key exists.
+func (s *Store) Has(bucket, key string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.buckets[bucket][key]
+	return ok
+}
+
+// Scan returns all entries in bucket whose key starts with prefix, sorted by
+// key. An empty prefix returns the whole bucket.
+func (s *Store) Scan(bucket, prefix string) ([]Entry, error) {
+	if bucket == "" {
+		return nil, ErrEmptyBucket
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	b := s.buckets[bucket]
+	out := make([]Entry, 0, len(b))
+	for k, v := range b {
+		if strings.HasPrefix(k, prefix) {
+			val := make([]byte, len(v))
+			copy(val, v)
+			out = append(out, Entry{Key: k, Value: val})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// Count reports the number of keys in bucket.
+func (s *Store) Count(bucket string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.buckets[bucket])
+}
+
+// Buckets returns the sorted names of all non-empty buckets.
+func (s *Store) Buckets() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.buckets))
+	for name, b := range s.buckets {
+		if len(b) > 0 {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close flushes and closes the WAL, if any. Further operations return
+// ErrClosed. Close is idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.wal != nil {
+		return s.wal.close()
+	}
+	return nil
+}
+
+// Compact rewrites the WAL to contain only the live state, shrinking logs
+// that have accumulated overwrites and deletes. It is a no-op for
+// memory-only stores.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.rewrite(s.buckets)
+}
+
+// EncodeJSON marshals v and stores it under bucket/key.
+func (s *Store) EncodeJSON(bucket, key string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("kvstore: encoding %s/%s: %w", bucket, key, err)
+	}
+	return s.Put(bucket, key, data)
+}
+
+// DecodeJSON loads bucket/key and unmarshals it into v.
+func (s *Store) DecodeJSON(bucket, key string, v any) error {
+	data, err := s.Get(bucket, key)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("kvstore: decoding %s/%s: %w", bucket, key, err)
+	}
+	return nil
+}
+
+// Snapshot serializes the entire store to w in a self-delimiting format
+// suitable for RestoreInto. It holds the read lock for the duration.
+func (s *Store) Snapshot(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	bw := bufio.NewWriter(w)
+	names := make([]string, 0, len(s.buckets))
+	for name := range s.buckets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		keys := make([]string, 0, len(s.buckets[name]))
+		for k := range s.buckets[name] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			rec := encodeRecord([]Op{{Bucket: name, Key: k, Value: s.buckets[name][k]}})
+			if _, err := bw.Write(rec); err != nil {
+				return fmt.Errorf("kvstore: writing snapshot: %w", err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// RestoreInto loads a Snapshot stream into an empty memory store. It fails
+// with ErrStoreDirty if the store already holds data.
+func (s *Store) RestoreInto(r io.Reader) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	for _, b := range s.buckets {
+		if len(b) > 0 {
+			return ErrStoreDirty
+		}
+	}
+	br := bufio.NewReader(r)
+	for {
+		ops, err := decodeRecord(br)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+		for _, op := range ops {
+			b := s.buckets[op.Bucket]
+			if b == nil {
+				b = make(map[string][]byte)
+				s.buckets[op.Bucket] = b
+			}
+			b[op.Key] = op.Value
+		}
+	}
+}
+
+// --- WAL encoding ---
+//
+// A record is one atomic batch:
+//
+//	uint32 payloadLen | uint32 crc32(payload) | payload
+//
+// payload = uint16 nOps, then per op:
+//
+//	uint8 tag (1=put, 2=delete) | uvarint len + bucket | uvarint len + key |
+//	(puts only) uvarint len + value
+//
+// A torn final record (crash mid-append) is detected by length/CRC and
+// truncated away on replay; anything before it is kept.
+
+const (
+	tagPut    = 1
+	tagDelete = 2
+)
+
+func encodeRecord(ops []Op) []byte {
+	var payload bytes.Buffer
+	var scratch [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) {
+		n := binary.PutUvarint(scratch[:], v)
+		payload.Write(scratch[:n])
+	}
+	var hdr [2]byte
+	binary.BigEndian.PutUint16(hdr[:], uint16(len(ops)))
+	payload.Write(hdr[:])
+	for _, op := range ops {
+		if op.Delete {
+			payload.WriteByte(tagDelete)
+		} else {
+			payload.WriteByte(tagPut)
+		}
+		putUvarint(uint64(len(op.Bucket)))
+		payload.WriteString(op.Bucket)
+		putUvarint(uint64(len(op.Key)))
+		payload.WriteString(op.Key)
+		if !op.Delete {
+			putUvarint(uint64(len(op.Value)))
+			payload.Write(op.Value)
+		}
+	}
+	out := make([]byte, 8+payload.Len())
+	binary.BigEndian.PutUint32(out[0:4], uint32(payload.Len()))
+	binary.BigEndian.PutUint32(out[4:8], crc32.ChecksumIEEE(payload.Bytes()))
+	copy(out[8:], payload.Bytes())
+	return out
+}
+
+func decodeRecord(r *bufio.Reader) ([]Op, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, errShortRecord
+		}
+		return nil, err // io.EOF = clean end
+	}
+	length := binary.BigEndian.Uint32(hdr[0:4])
+	sum := binary.BigEndian.Uint32(hdr[4:8])
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, errShortRecord
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, errShortRecord
+	}
+	if len(payload) < 2 {
+		return nil, errShortRecord
+	}
+	n := int(binary.BigEndian.Uint16(payload[:2]))
+	br := bytes.NewReader(payload[2:])
+	readBytes := func() ([]byte, error) {
+		l, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, errShortRecord
+		}
+		buf := make([]byte, l)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, errShortRecord
+		}
+		return buf, nil
+	}
+	ops := make([]Op, 0, n)
+	for i := 0; i < n; i++ {
+		tag, err := br.ReadByte()
+		if err != nil {
+			return nil, errShortRecord
+		}
+		bucket, err := readBytes()
+		if err != nil {
+			return nil, err
+		}
+		key, err := readBytes()
+		if err != nil {
+			return nil, err
+		}
+		op := Op{Bucket: string(bucket), Key: string(key)}
+		switch tag {
+		case tagPut:
+			val, err := readBytes()
+			if err != nil {
+				return nil, err
+			}
+			op.Value = val
+		case tagDelete:
+			op.Delete = true
+		default:
+			return nil, errBadRecordTag
+		}
+		ops = append(ops, op)
+	}
+	return ops, nil
+}
+
+type walWriter struct {
+	f *os.File
+	w *bufio.Writer
+}
+
+func (wal *walWriter) append(ops []Op) error {
+	if _, err := wal.w.Write(encodeRecord(ops)); err != nil {
+		return fmt.Errorf("kvstore: appending to log: %w", err)
+	}
+	if err := wal.w.Flush(); err != nil {
+		return fmt.Errorf("kvstore: flushing log: %w", err)
+	}
+	return nil
+}
+
+func (wal *walWriter) close() error {
+	if err := wal.w.Flush(); err != nil {
+		wal.f.Close()
+		return fmt.Errorf("kvstore: flushing log on close: %w", err)
+	}
+	if err := wal.f.Close(); err != nil {
+		return fmt.Errorf("kvstore: closing log: %w", err)
+	}
+	return nil
+}
+
+// rewrite truncates the log and writes one put per live key.
+func (wal *walWriter) rewrite(buckets map[string]map[string][]byte) error {
+	if err := wal.w.Flush(); err != nil {
+		return fmt.Errorf("kvstore: flushing before compaction: %w", err)
+	}
+	if err := wal.f.Truncate(0); err != nil {
+		return fmt.Errorf("kvstore: truncating log: %w", err)
+	}
+	if _, err := wal.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("kvstore: rewinding log: %w", err)
+	}
+	wal.w.Reset(wal.f)
+	for name, b := range buckets {
+		for k, v := range b {
+			if _, err := wal.w.Write(encodeRecord([]Op{{Bucket: name, Key: k, Value: v}})); err != nil {
+				return fmt.Errorf("kvstore: rewriting log: %w", err)
+			}
+		}
+	}
+	if err := wal.w.Flush(); err != nil {
+		return fmt.Errorf("kvstore: flushing compacted log: %w", err)
+	}
+	return nil
+}
+
+// replayWAL loads every intact record from f into s and truncates a torn
+// tail if one is found.
+func replayWAL(f *os.File, s *Store) error {
+	r := bufio.NewReader(f)
+	var offset int64
+	for {
+		ops, err := decodeRecord(r)
+		if err == io.EOF {
+			return nil
+		}
+		if errors.Is(err, errShortRecord) {
+			// Torn tail from a crash mid-append: drop it.
+			if terr := f.Truncate(offset); terr != nil {
+				return fmt.Errorf("kvstore: truncating torn log tail: %w", terr)
+			}
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrCorruptWAL, err)
+		}
+		for _, op := range ops {
+			b := s.buckets[op.Bucket]
+			if op.Delete {
+				delete(b, op.Key)
+				continue
+			}
+			if b == nil {
+				b = make(map[string][]byte)
+				s.buckets[op.Bucket] = b
+			}
+			b[op.Key] = op.Value
+		}
+		offset += int64(8 + payloadLen(ops))
+	}
+}
+
+// payloadLen recomputes the encoded payload size of ops; used only to track
+// replay offsets without re-reading the file.
+func payloadLen(ops []Op) int {
+	n := 2
+	var scratch [binary.MaxVarintLen64]byte
+	uvlen := func(v uint64) int { return binary.PutUvarint(scratch[:], v) }
+	for _, op := range ops {
+		n += 1 + uvlen(uint64(len(op.Bucket))) + len(op.Bucket) + uvlen(uint64(len(op.Key))) + len(op.Key)
+		if !op.Delete {
+			n += uvlen(uint64(len(op.Value))) + len(op.Value)
+		}
+	}
+	return n
+}

@@ -1,0 +1,555 @@
+package kvstore
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newBufReader(b []byte) *bufio.Reader { return bufio.NewReader(bytes.NewReader(b)) }
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := New()
+	if err := s.Put("users", "alice", []byte(`{"name":"alice"}`)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("users", "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != `{"name":"alice"}` {
+		t.Errorf("Get = %q", got)
+	}
+}
+
+func TestGetNotFound(t *testing.T) {
+	s := New()
+	_, err := s.Get("users", "nobody")
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get absent = %v, want ErrNotFound", err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	s := New()
+	if err := s.Put("", "k", nil); !errors.Is(err, ErrEmptyBucket) {
+		t.Errorf("empty bucket: %v", err)
+	}
+	if err := s.Put("b", "", nil); !errors.Is(err, ErrEmptyKey) {
+		t.Errorf("empty key: %v", err)
+	}
+	if err := s.Put("b\x00ad", "k", nil); !errors.Is(err, ErrInvalidName) {
+		t.Errorf("NUL bucket: %v", err)
+	}
+}
+
+func TestDeleteAbsentIsNoError(t *testing.T) {
+	s := New()
+	if err := s.Delete("users", "ghost"); err != nil {
+		t.Fatalf("Delete absent: %v", err)
+	}
+}
+
+func TestDeleteRemoves(t *testing.T) {
+	s := New()
+	s.Put("b", "k", []byte("v"))
+	if err := s.Delete("b", "k"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has("b", "k") {
+		t.Error("key survived Delete")
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := New()
+	s.Put("b", "k", []byte("original"))
+	v, _ := s.Get("b", "k")
+	v[0] = 'X'
+	v2, _ := s.Get("b", "k")
+	if string(v2) != "original" {
+		t.Error("Get aliased internal storage")
+	}
+}
+
+func TestPutCopiesValue(t *testing.T) {
+	s := New()
+	val := []byte("original")
+	s.Put("b", "k", val)
+	val[0] = 'X'
+	got, _ := s.Get("b", "k")
+	if string(got) != "original" {
+		t.Error("Put aliased caller's slice")
+	}
+}
+
+func TestScanPrefixSorted(t *testing.T) {
+	s := New()
+	for _, k := range []string{"user:b", "user:a", "txn:1", "user:c"} {
+		s.Put("db", k, []byte(k))
+	}
+	got, err := s.Scan("db", "user:")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"user:a", "user:b", "user:c"}
+	if len(got) != len(want) {
+		t.Fatalf("Scan returned %d entries, want %d", len(got), len(want))
+	}
+	for i, e := range got {
+		if e.Key != want[i] {
+			t.Errorf("entry %d = %q, want %q", i, e.Key, want[i])
+		}
+	}
+}
+
+func TestScanEmptyPrefixReturnsAll(t *testing.T) {
+	s := New()
+	s.Put("b", "x", nil)
+	s.Put("b", "y", nil)
+	got, _ := s.Scan("b", "")
+	if len(got) != 2 {
+		t.Errorf("Scan all = %d entries, want 2", len(got))
+	}
+}
+
+func TestScanUnknownBucketEmpty(t *testing.T) {
+	s := New()
+	got, err := s.Scan("nothing", "")
+	if err != nil || len(got) != 0 {
+		t.Errorf("Scan unknown bucket = %v, %v", got, err)
+	}
+}
+
+func TestApplyAtomicBatch(t *testing.T) {
+	s := New()
+	s.Put("b", "old", []byte("1"))
+	err := s.Apply([]Op{
+		{Bucket: "b", Key: "new", Value: []byte("2")},
+		{Bucket: "b", Key: "old", Delete: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Has("b", "old") || !s.Has("b", "new") {
+		t.Error("batch not fully applied")
+	}
+}
+
+func TestApplyValidatesBeforeMutating(t *testing.T) {
+	s := New()
+	err := s.Apply([]Op{
+		{Bucket: "b", Key: "good", Value: []byte("1")},
+		{Bucket: "", Key: "bad"},
+	})
+	if err == nil {
+		t.Fatal("Apply accepted invalid op")
+	}
+	if s.Has("b", "good") {
+		t.Error("partial batch applied")
+	}
+}
+
+func TestCountAndBuckets(t *testing.T) {
+	s := New()
+	s.Put("users", "a", nil)
+	s.Put("users", "b", nil)
+	s.Put("txns", "1", nil)
+	if got := s.Count("users"); got != 2 {
+		t.Errorf("Count = %d, want 2", got)
+	}
+	if got := s.Buckets(); !reflect.DeepEqual(got, []string{"txns", "users"}) {
+		t.Errorf("Buckets = %v", got)
+	}
+}
+
+func TestClosedStoreRejectsOps(t *testing.T) {
+	s := New()
+	s.Put("b", "k", nil)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := s.Get("b", "k"); !errors.Is(err, ErrClosed) {
+		t.Errorf("Get after Close = %v", err)
+	}
+	if err := s.Put("b", "k2", nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("Put after Close = %v", err)
+	}
+	if _, err := s.Scan("b", ""); !errors.Is(err, ErrClosed) {
+		t.Errorf("Scan after Close = %v", err)
+	}
+}
+
+func TestEncodeDecodeJSON(t *testing.T) {
+	type rec struct {
+		Name string `json:"name"`
+		Age  int    `json:"age"`
+	}
+	s := New()
+	if err := s.EncodeJSON("users", "alice", rec{Name: "alice", Age: 30}); err != nil {
+		t.Fatal(err)
+	}
+	var got rec
+	if err := s.DecodeJSON("users", "alice", &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "alice" || got.Age != 30 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestDecodeJSONNotFound(t *testing.T) {
+	s := New()
+	var v struct{}
+	if err := s.DecodeJSON("b", "missing", &v); !errors.Is(err, ErrNotFound) {
+		t.Errorf("DecodeJSON absent = %v", err)
+	}
+}
+
+func TestWALPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.wal")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("users", "alice", []byte("a"))
+	s.Put("users", "bob", []byte("b"))
+	s.Delete("users", "alice")
+	s.Put("txns", "1", []byte("t"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Has("users", "alice") {
+		t.Error("deleted key resurrected on replay")
+	}
+	v, err := s2.Get("users", "bob")
+	if err != nil || string(v) != "b" {
+		t.Errorf("bob = %q, %v", v, err)
+	}
+	if !s2.Has("txns", "1") {
+		t.Error("txns/1 lost on replay")
+	}
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.wal")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("b", "intact", []byte("1"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: write half a record.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0, 0, 0, 99, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open with torn tail: %v", err)
+	}
+	if !s2.Has("b", "intact") {
+		t.Error("intact record lost")
+	}
+	s2.Put("b", "after", []byte("2"))
+	s2.Close()
+
+	// The store must reopen cleanly after appending past the truncation.
+	s3, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if !s3.Has("b", "after") || !s3.Has("b", "intact") {
+		t.Error("state lost after torn-tail recovery")
+	}
+}
+
+func TestCompactShrinksLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.wal")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		s.Put("b", "hot", []byte(fmt.Sprintf("version-%d", i)))
+	}
+	before, _ := os.Stat(path)
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.Stat(path)
+	if after.Size() >= before.Size() {
+		t.Errorf("Compact did not shrink log: %d -> %d", before.Size(), after.Size())
+	}
+	s.Close()
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	v, err := s2.Get("b", "hot")
+	if err != nil || string(v) != "version-99" {
+		t.Errorf("after compact+reopen: %q, %v", v, err)
+	}
+}
+
+func TestCompactMemoryStoreNoop(t *testing.T) {
+	s := New()
+	s.Put("b", "k", nil)
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact on memory store: %v", err)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	s := New()
+	s.Put("users", "alice", []byte("a"))
+	s.Put("txns", "1", []byte("t1"))
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := New()
+	if err := s2.RestoreInto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s2.Get("users", "alice")
+	if err != nil || string(v) != "a" {
+		t.Errorf("alice = %q, %v", v, err)
+	}
+	if !s2.Has("txns", "1") {
+		t.Error("txns lost in snapshot round-trip")
+	}
+}
+
+func TestRestoreIntoDirtyStoreFails(t *testing.T) {
+	s := New()
+	s.Put("b", "k", nil)
+	var buf bytes.Buffer
+	s.Snapshot(&buf)
+
+	s2 := New()
+	s2.Put("x", "y", nil)
+	if err := s2.RestoreInto(&buf); !errors.Is(err, ErrStoreDirty) {
+		t.Fatalf("RestoreInto dirty = %v, want ErrStoreDirty", err)
+	}
+}
+
+func TestRestoreGarbageFails(t *testing.T) {
+	s := New()
+	err := s.RestoreInto(bytes.NewReader([]byte("not a snapshot at all")))
+	if !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("RestoreInto garbage = %v, want ErrBadSnapshot", err)
+	}
+}
+
+func TestRecordRoundTripProperty(t *testing.T) {
+	fn := func(bucket, key string, value []byte, del bool) bool {
+		if bucket == "" || key == "" {
+			return true // invalid ops are rejected before encoding
+		}
+		op := Op{Bucket: bucket, Key: key, Value: value, Delete: del}
+		if del {
+			op.Value = nil
+		}
+		rec := encodeRecord([]Op{op})
+		got, err := decodeRecord(newBufReader(rec))
+		if err != nil || len(got) != 1 {
+			return false
+		}
+		g := got[0]
+		return g.Bucket == bucket && g.Key == key && g.Delete == del &&
+			(del || bytes.Equal(g.Value, value))
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreStateMachineProperty(t *testing.T) {
+	// The store must behave exactly like a map[string][]byte per bucket.
+	type op struct {
+		Key    uint8
+		Value  []byte
+		Delete bool
+	}
+	fn := func(ops []op) bool {
+		s := New()
+		model := make(map[string][]byte)
+		for _, o := range ops {
+			key := fmt.Sprintf("k%d", o.Key%16)
+			if o.Delete {
+				s.Delete("b", key)
+				delete(model, key)
+			} else {
+				s.Put("b", key, o.Value)
+				model[key] = append([]byte(nil), o.Value...)
+			}
+		}
+		if s.Count("b") != len(model) {
+			return false
+		}
+		for k, want := range model {
+			got, err := s.Get("b", k)
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentReadersWriters(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("g%d-k%d", g, i)
+				if err := s.Put("b", key, []byte{byte(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Get("b", key); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Scan("b", fmt.Sprintf("g%d-", g)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := s.Count("b"); got != 8*200 {
+		t.Errorf("Count = %d, want %d", got, 8*200)
+	}
+}
+
+// Crash-recovery property: for any op sequence, writing through a WAL then
+// reopening yields exactly the state of an in-memory store that applied the
+// same sequence.
+func TestWALReopenEquivalenceProperty(t *testing.T) {
+	type op struct {
+		Bucket, Key uint8
+		Value       []byte
+		Delete      bool
+	}
+	dir := t.TempDir()
+	run := 0
+	fn := func(ops []op) bool {
+		run++
+		path := filepath.Join(dir, fmt.Sprintf("prop-%d.wal", run))
+		durable, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem := New()
+		for _, o := range ops {
+			bucket := fmt.Sprintf("b%d", o.Bucket%3)
+			key := fmt.Sprintf("k%d", o.Key%8)
+			if o.Delete {
+				durable.Delete(bucket, key)
+				mem.Delete(bucket, key)
+			} else {
+				durable.Put(bucket, key, o.Value)
+				mem.Put(bucket, key, o.Value)
+			}
+		}
+		if err := durable.Close(); err != nil {
+			t.Fatal(err)
+		}
+		reopened, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer reopened.Close()
+		for _, bucket := range []string{"b0", "b1", "b2"} {
+			want, _ := mem.Scan(bucket, "")
+			got, _ := reopened.Scan(bucket, "")
+			if len(want) != len(got) {
+				return false
+			}
+			for i := range want {
+				if want[i].Key != got[i].Key || !bytes.Equal(want[i].Value, got[i].Value) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Snapshot/Restore property: restore of a snapshot reproduces every bucket.
+func TestSnapshotRestoreEquivalenceProperty(t *testing.T) {
+	fn := func(keys []uint8, values [][]byte) bool {
+		s := New()
+		for i, k := range keys {
+			var v []byte
+			if len(values) > 0 {
+				v = values[i%len(values)]
+			}
+			s.Put(fmt.Sprintf("b%d", k%2), fmt.Sprintf("k%d", k), v)
+		}
+		var buf bytes.Buffer
+		if err := s.Snapshot(&buf); err != nil {
+			return false
+		}
+		r := New()
+		if err := r.RestoreInto(&buf); err != nil {
+			return false
+		}
+		for _, bucket := range []string{"b0", "b1"} {
+			want, _ := s.Scan(bucket, "")
+			got, _ := r.Scan(bucket, "")
+			if len(want) != len(got) {
+				return false
+			}
+			for i := range want {
+				if want[i].Key != got[i].Key || !bytes.Equal(want[i].Value, got[i].Value) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,213 @@
+// Package platform is the composition root reproducing Fig 3.1: one
+// Coordinator Server, one or more Marketplaces, Seller Servers feeding them
+// merchandise, and one or more Buyer Agent Servers (the recommendation
+// mechanism), all running in-process over the loopback agent transport.
+// cmd/platformd assembles the same pieces over TCP with the atp transport.
+package platform
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"agentrec/internal/aglet"
+	"agentrec/internal/buyerserver"
+	"agentrec/internal/catalog"
+	"agentrec/internal/coordinator"
+	"agentrec/internal/marketplace"
+	"agentrec/internal/profile"
+	"agentrec/internal/recommend"
+	"agentrec/internal/trace"
+)
+
+// Config sizes the platform. Zero fields take the default in brackets.
+type Config struct {
+	Marketplaces int                // [2]
+	BuyerServers int                // [1]
+	Tracer       *trace.Recorder    // optional workflow tracer
+	EngineOpts   []recommend.Option // tuning for the shared engine
+	BuyerOpts    []buyerserver.Option
+	Products     []*catalog.Product // initial merchandise, distributed round-robin
+}
+
+// ErrNoBuyerServers reports a config without any buyer server.
+var ErrNoBuyerServers = errors.New("platform: need at least one buyer server")
+
+// Platform is one running instance of the Fig 3.1 architecture.
+type Platform struct {
+	Loopback    *aglet.Loopback
+	Coordinator *coordinator.Coordinator
+	Markets     []*marketplace.Server
+	Buyers      []*buyerserver.Server
+	Union       *catalog.Catalog // integrated view of all marketplace merchandise
+	Engine      *recommend.Engine
+
+	hosts []*aglet.Host
+}
+
+// New boots a platform.
+func New(cfg Config) (*Platform, error) {
+	if cfg.Marketplaces <= 0 {
+		cfg.Marketplaces = 2
+	}
+	if cfg.BuyerServers == 0 {
+		cfg.BuyerServers = 1
+	}
+	if cfg.BuyerServers < 0 {
+		return nil, ErrNoBuyerServers
+	}
+
+	p := &Platform{
+		Loopback: aglet.NewLoopback(),
+		Union:    catalog.New(),
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			p.Close()
+		}
+	}()
+
+	coordReg := aglet.NewRegistry()
+	coordHost := p.newHost("coord", coordReg)
+	coord, err := coordinator.New(coordHost, coordReg, coordinator.WithTracer(cfg.Tracer))
+	if err != nil {
+		return nil, err
+	}
+	p.Coordinator = coord
+
+	var marketNames []string
+	for i := 0; i < cfg.Marketplaces; i++ {
+		name := fmt.Sprintf("market-%d", i+1)
+		reg := aglet.NewRegistry()
+		buyerserver.RegisterMBAType(reg)
+		host := p.newHost(name, reg)
+		mp, err := marketplace.NewServer(host, catalog.New(), reg)
+		if err != nil {
+			return nil, err
+		}
+		p.Markets = append(p.Markets, mp)
+		marketNames = append(marketNames, name)
+		if err := coord.Register(coordinator.Registration{
+			Kind: coordinator.KindMarketplace, Name: name, Addr: name,
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	for i, prod := range cfg.Products {
+		if err := p.Stock(i%cfg.Marketplaces, prod); err != nil {
+			return nil, err
+		}
+	}
+
+	p.Engine = recommend.NewEngine(p.Union, cfg.EngineOpts...)
+	for i := 0; i < cfg.BuyerServers; i++ {
+		name := fmt.Sprintf("buyer-server-%d", i+1)
+		reg := aglet.NewRegistry()
+		host := p.newHost(name, reg)
+		caProxy := host.RemoteProxy("coord", coordinator.CAID)
+		opts := append([]buyerserver.Option{
+			buyerserver.WithTracer(cfg.Tracer),
+			buyerserver.WithMarkets(marketNames...),
+		}, cfg.BuyerOpts...)
+		srv, err := buyerserver.New(host, reg, p.Engine, caProxy, opts...)
+		if err != nil {
+			return nil, err
+		}
+		p.Buyers = append(p.Buyers, srv)
+	}
+	ok = true
+	return p, nil
+}
+
+func (p *Platform) newHost(name string, reg *aglet.Registry) *aglet.Host {
+	host := aglet.NewHost(name, reg)
+	p.Loopback.Attach(host)
+	p.hosts = append(p.hosts, host)
+	return host
+}
+
+// Buyer returns the first buyer agent server, the common case.
+func (p *Platform) Buyer() *buyerserver.Server { return p.Buyers[0] }
+
+// Stock adds a product to marketplace index i and the integrated catalog.
+func (p *Platform) Stock(i int, prod *catalog.Product) error {
+	if i < 0 || i >= len(p.Markets) {
+		return fmt.Errorf("platform: no marketplace %d", i)
+	}
+	if err := p.Markets[i].Catalog().Upsert(prod); err != nil {
+		return err
+	}
+	return p.Union.Upsert(prod)
+}
+
+// IntegrateJSONFeed runs a seller's JSON feed through the Seller Server
+// integration into marketplace i (§3.2 item 4).
+func (p *Platform) IntegrateJSONFeed(i int, r io.Reader, sellerID string) (int, error) {
+	return p.integrate(i, sellerID, func(in *catalog.Integrator) (int, error) {
+		return in.IntegrateJSON(r, sellerID)
+	})
+}
+
+// IntegrateCSVFeed runs a seller's legacy CSV feed through the Seller
+// Server integration into marketplace i.
+func (p *Platform) IntegrateCSVFeed(i int, r io.Reader, sellerID string) (int, error) {
+	return p.integrate(i, sellerID, func(in *catalog.Integrator) (int, error) {
+		return in.IntegrateCSV(r, sellerID)
+	})
+}
+
+func (p *Platform) integrate(i int, sellerID string, apply func(*catalog.Integrator) (int, error)) (int, error) {
+	if i < 0 || i >= len(p.Markets) {
+		return 0, fmt.Errorf("platform: no marketplace %d", i)
+	}
+	n, err := apply(catalog.NewIntegrator(p.Markets[i].Catalog()))
+	if err != nil {
+		return 0, err
+	}
+	if err := p.Coordinator.Register(coordinator.Registration{
+		Kind: coordinator.KindSeller, Name: sellerID, Addr: p.Markets[i].Host().Name(),
+	}); err != nil {
+		return n, err
+	}
+	// Mirror into the integrated catalog the engine recommends over.
+	for _, prod := range p.Markets[i].Catalog().All() {
+		if prod.SellerID == sellerID {
+			if err := p.Union.Upsert(prod); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, nil
+}
+
+// SeedCommunity installs pre-built consumer profiles and purchase histories
+// into the engine, for examples and experiments that need a warm community.
+func (p *Platform) SeedCommunity(profiles []*profile.Profile, purchases map[string][]string) {
+	for _, prof := range profiles {
+		p.Engine.SetProfile(prof)
+	}
+	for user, pids := range purchases {
+		for _, pid := range pids {
+			p.Engine.RecordPurchase(user, pid)
+		}
+	}
+}
+
+// Close shuts everything down: buyer servers first (they own live agents
+// with in-flight trips), then marketplaces and the coordinator.
+func (p *Platform) Close() error {
+	var first error
+	for _, b := range p.Buyers {
+		if err := b.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, h := range p.hosts {
+		if err := h.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,178 @@
+package platform
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"agentrec/internal/catalog"
+	"agentrec/internal/coordinator"
+	"agentrec/internal/trace"
+)
+
+func demoProducts() []*catalog.Product {
+	return []*catalog.Product{
+		{ID: "p1", Name: "UltraBook", Category: "laptop", Terms: map[string]float64{"ssd": 1}, PriceCents: 100000, SellerID: "s1", Stock: 5},
+		{ID: "p2", Name: "GameBook", Category: "laptop", Terms: map[string]float64{"gpu": 1}, PriceCents: 150000, SellerID: "s1", Stock: 5},
+		{ID: "p3", Name: "Shooter", Category: "camera", Terms: map[string]float64{"lens": 1}, PriceCents: 50000, SellerID: "s2", Stock: 5},
+		{ID: "p4", Name: "Zoomer", Category: "camera", Terms: map[string]float64{"zoom": 1}, PriceCents: 60000, SellerID: "s2", Stock: 5},
+	}
+}
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// TestPlatformArchitecture is experiment F3.1: every server role of Fig 3.1
+// boots, registers, and interoperates.
+func TestPlatformArchitecture(t *testing.T) {
+	tracer := trace.New()
+	p, err := New(Config{
+		Marketplaces: 2,
+		BuyerServers: 1,
+		Tracer:       tracer,
+		Products:     demoProducts(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// Coordinator knows every marketplace and the buyer server.
+	if got := p.Coordinator.Lookup(coordinator.KindMarketplace); len(got) != 2 {
+		t.Errorf("marketplaces registered = %d", len(got))
+	}
+	if got := p.Coordinator.Lookup(coordinator.KindBuyerServer); len(got) != 1 {
+		t.Errorf("buyer servers registered = %d", len(got))
+	}
+	// Products distributed round-robin: each marketplace holds two.
+	for i, m := range p.Markets {
+		if m.Catalog().Len() != 2 {
+			t.Errorf("market %d holds %d products", i, m.Catalog().Len())
+		}
+	}
+	// Integrated catalog holds everything.
+	if p.Union.Len() != 4 {
+		t.Errorf("union catalog = %d products", p.Union.Len())
+	}
+
+	// An end-to-end trade works across the assembled platform.
+	ctx := testCtx(t)
+	b := p.Buyer()
+	if err := b.Register(ctx, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Login(ctx, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Query(ctx, "alice", catalog.Query{Category: "laptop"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 2 {
+		t.Errorf("query visited %d markets", len(res.Results))
+	}
+}
+
+func TestPlatformDefaults(t *testing.T) {
+	p, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if len(p.Markets) != 2 || len(p.Buyers) != 1 {
+		t.Errorf("defaults: %d markets, %d buyers", len(p.Markets), len(p.Buyers))
+	}
+}
+
+func TestPlatformSellerFeeds(t *testing.T) {
+	p, err := New(Config{Marketplaces: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	jsonFeed := `[{"sku":"X1","title":"Thing","cat":"Gadget","subcat":"Small",
+		"keywords":["neat"],"price_cents":1999,"qty":10}]`
+	n, err := p.IntegrateJSONFeed(0, strings.NewReader(jsonFeed), "sellerA")
+	if err != nil || n != 1 {
+		t.Fatalf("json feed: %d, %v", n, err)
+	}
+	csvFeed := `Y1,Widget,Gadget>Small,neat:0.5,12.50,3`
+	n, err = p.IntegrateCSVFeed(1, strings.NewReader(csvFeed), "sellerB")
+	if err != nil || n != 1 {
+		t.Fatalf("csv feed: %d, %v", n, err)
+	}
+
+	// Both sellers' goods are in the union under the same category space.
+	got := p.Union.Search(catalog.Query{Category: "gadget"})
+	if len(got) != 2 {
+		t.Fatalf("union search = %d products, want 2", len(got))
+	}
+	// Sellers registered with the coordinator.
+	if got := p.Coordinator.Lookup(coordinator.KindSeller); len(got) != 2 {
+		t.Errorf("sellers registered = %d", len(got))
+	}
+	// And a marketplace query finds the seller's goods.
+	m := p.Markets[0].Query(catalog.Query{Category: "gadget"})
+	if len(m) != 1 || m[0].Product.SellerID != "sellerA" {
+		t.Errorf("market query = %+v", m)
+	}
+}
+
+func TestPlatformStockErrors(t *testing.T) {
+	p, err := New(Config{Marketplaces: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.Stock(5, demoProducts()[0]); err == nil {
+		t.Error("Stock accepted bad index")
+	}
+	if _, err := p.IntegrateJSONFeed(5, strings.NewReader("[]"), "s"); err == nil {
+		t.Error("IntegrateJSONFeed accepted bad index")
+	}
+}
+
+func TestPlatformMultipleBuyerServers(t *testing.T) {
+	p, err := New(Config{Marketplaces: 1, BuyerServers: 2, Products: demoProducts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ctx := testCtx(t)
+	// Users on different buyer servers share the engine (one consumer
+	// community across servers).
+	for i, b := range p.Buyers {
+		user := []string{"alice", "bob"}[i]
+		if err := b.Register(ctx, user); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Login(ctx, user); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Query(ctx, user, catalog.Query{Category: "laptop"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(p.Engine.Users()); got != 2 {
+		t.Errorf("community size = %d, want 2", got)
+	}
+}
+
+func TestPlatformCloseIdempotent(t *testing.T) {
+	p, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,185 @@
+package recommend
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// This file implements the paper's §5.2 future-work directions 2 and 3:
+// "Provide the more kinds of recommendation information such as weekly
+// hottest merchandise, and tied-sale information."
+//
+//   - Trending ("weekly hottest"): purchases carry timestamps; the hottest
+//     list counts purchases inside a sliding window, optionally weighting
+//     recent ones higher.
+//   - TiedSales ("tied-sale information", frequently-bought-together):
+//     co-purchase pair counts across consumers, ranked by confidence
+//     P(other | product), with a minimum support to keep noise out.
+
+// TrendEntry is one product in a trending listing.
+type TrendEntry struct {
+	ProductID string
+	Count     int     // purchases inside the window
+	Score     float64 // recency-weighted count
+}
+
+// TiedSale is one frequently-bought-together association.
+type TiedSale struct {
+	ProductID  string  // the associated product
+	Support    int     // consumers who bought both
+	Confidence float64 // P(ProductID | anchor) among the anchor's buyers
+}
+
+// purchaseEvent is a timestamped purchase for the trending window.
+type purchaseEvent struct {
+	productID string
+	at        time.Time
+}
+
+// history tracks timestamped purchases and per-user baskets for the
+// extension features. It lives beside the Engine's core state.
+type history struct {
+	mu      sync.Mutex
+	events  []purchaseEvent
+	baskets map[string]map[string]bool // user -> distinct products bought
+}
+
+func newHistory() *history {
+	return &history{baskets: make(map[string]map[string]bool)}
+}
+
+func (h *history) record(userID, productID string, at time.Time) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.events = append(h.events, purchaseEvent{productID: productID, at: at})
+	basket := h.baskets[userID]
+	if basket == nil {
+		basket = make(map[string]bool)
+		h.baskets[userID] = basket
+	}
+	basket[productID] = true
+}
+
+// RecordPurchaseAt is RecordPurchase with an explicit timestamp, feeding
+// the trending window. RecordPurchase uses time.Now.
+func (e *Engine) RecordPurchaseAt(userID, productID string, at time.Time) {
+	e.RecordPurchase(userID, productID)
+	e.ext.record(userID, productID, at)
+}
+
+// Trending returns up to n products ranked by purchases within the window
+// ending at now. Score halves per half-window of age, so a spike earlier in
+// the window ranks below the same spike just now.
+func (e *Engine) Trending(now time.Time, window time.Duration, n int) []TrendEntry {
+	e.ext.mu.Lock()
+	defer e.ext.mu.Unlock()
+	cutoff := now.Add(-window)
+	type agg struct {
+		count int
+		score float64
+	}
+	byProduct := make(map[string]*agg)
+	for _, ev := range e.ext.events {
+		if ev.at.Before(cutoff) || ev.at.After(now) {
+			continue
+		}
+		a := byProduct[ev.productID]
+		if a == nil {
+			a = &agg{}
+			byProduct[ev.productID] = a
+		}
+		a.count++
+		age := now.Sub(ev.at)
+		// Halve per half-window: weight = 2^(-2·age/window).
+		weight := 1.0
+		if window > 0 {
+			frac := float64(age) / float64(window) // 0..1
+			weight = pow2(-2 * frac)
+		}
+		a.score += weight
+	}
+	out := make([]TrendEntry, 0, len(byProduct))
+	for pid, a := range byProduct {
+		out = append(out, TrendEntry{ProductID: pid, Count: a.count, Score: a.score})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ProductID < out[j].ProductID
+	})
+	if n >= 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// pow2 computes 2^x for small negative x without importing math just for
+// this; accuracy is plenty for ranking weights.
+func pow2(x float64) float64 {
+	// 2^x = e^(x·ln2); use a short series via repeated squaring on the
+	// fractional exponent. For ranking purposes a 7-term series suffices.
+	const ln2 = 0.6931471805599453
+	y := x * ln2
+	sum, term := 1.0, 1.0
+	for i := 1; i <= 8; i++ {
+		term *= y / float64(i)
+		sum += term
+	}
+	if sum < 0 {
+		return 0
+	}
+	return sum
+}
+
+// TiedSales returns up to n products frequently bought together with
+// productID: associations with at least minSupport co-buyers, ranked by
+// confidence then support.
+func (e *Engine) TiedSales(productID string, minSupport, n int) []TiedSale {
+	if minSupport < 1 {
+		minSupport = 1
+	}
+	e.ext.mu.Lock()
+	defer e.ext.mu.Unlock()
+	co := make(map[string]int)
+	anchorBuyers := 0
+	for _, basket := range e.ext.baskets {
+		if !basket[productID] {
+			continue
+		}
+		anchorBuyers++
+		for other := range basket {
+			if other != productID {
+				co[other]++
+			}
+		}
+	}
+	if anchorBuyers == 0 {
+		return nil
+	}
+	out := make([]TiedSale, 0, len(co))
+	for other, support := range co {
+		if support < minSupport {
+			continue
+		}
+		out = append(out, TiedSale{
+			ProductID:  other,
+			Support:    support,
+			Confidence: float64(support) / float64(anchorBuyers),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		return out[i].ProductID < out[j].ProductID
+	})
+	if n >= 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

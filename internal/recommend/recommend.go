@@ -1,0 +1,489 @@
+// Package recommend implements the recommendation information generation of
+// §4.4 and the filtering techniques §2.3 surveys:
+//
+//   - CF: collaborative filtering in the paper's form — find consumers whose
+//     profiles are similar (Fig 4.5, with the preference-value discard
+//     gate), then recommend the merchandise those neighbours acquired.
+//   - IF: information filtering — match merchandise characteristic terms
+//     against the consumer's own learned profile (Fig 4.4).
+//   - Hybrid: a weighted mix of both, the combination §2.3's reference [5]
+//     (Good et al.) argues for.
+//   - TopSellers: the non-personalized "top overall sellers" baseline §2.3
+//     opens with.
+//
+// The engine also exposes RecommendForQuery, the exact operation of the
+// Fig 4.2 workflow: re-rank the merchandise a Mobile Buyer Agent brought
+// back from the marketplaces using the similar consumers' preferences.
+//
+// Cold start (§2.3's known CF limitation) is handled by explicit fallback:
+// a consumer with no usable profile gets top sellers, and the result says
+// so. Experiment C4 measures the degradation.
+package recommend
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"agentrec/internal/catalog"
+	"agentrec/internal/profile"
+	"agentrec/internal/similarity"
+)
+
+// Strategy selects a recommendation technique.
+type Strategy int
+
+// Strategies. StrategyAuto picks Hybrid with cold-start fallback.
+const (
+	StrategyAuto Strategy = iota
+	StrategyCF
+	StrategyIF
+	StrategyHybrid
+	StrategyTopSeller
+)
+
+// String returns the strategy name.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyAuto:
+		return "auto"
+	case StrategyCF:
+		return "cf"
+	case StrategyIF:
+		return "if"
+	case StrategyHybrid:
+		return "hybrid"
+	case StrategyTopSeller:
+		return "topseller"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Errors reported by the engine.
+var (
+	ErrUnknownUser     = errors.New("recommend: unknown user")
+	ErrUnknownStrategy = errors.New("recommend: unknown strategy")
+)
+
+// Rec is one recommended product.
+type Rec struct {
+	ProductID string
+	Score     float64
+	Source    string // which technique produced it, e.g. "cf", "if", "topseller-fallback"
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithNeighbors sets the CF neighbourhood size k (default 10).
+func WithNeighbors(k int) Option {
+	return func(e *Engine) {
+		if k > 0 {
+			e.k = k
+		}
+	}
+}
+
+// WithTolerance sets the Fig 4.5 discard tolerance (default 0.5).
+func WithTolerance(tol float64) Option {
+	return func(e *Engine) { e.tolerance = tol }
+}
+
+// WithHybridWeight sets the CF share in the hybrid mix, in [0,1]
+// (default 0.6).
+func WithHybridWeight(w float64) Option {
+	return func(e *Engine) {
+		if w >= 0 && w <= 1 {
+			e.hybridW = w
+		}
+	}
+}
+
+// WithDiscardGate enables or disables the preference-value discard gate;
+// disabling it is the F4.5 ablation (plain cosine neighbours).
+func WithDiscardGate(enabled bool) Option {
+	return func(e *Engine) { e.gate = enabled }
+}
+
+// Engine holds the consumer community's profiles and transaction history
+// and answers recommendation requests. Safe for concurrent use.
+type Engine struct {
+	catalog   *catalog.Catalog
+	k         int
+	tolerance float64
+	hybridW   float64
+	gate      bool
+
+	mu        sync.RWMutex
+	profiles  map[string]*profile.Profile
+	purchases map[string]map[string]bool // user -> product set
+	sellCount map[string]int             // product -> total purchases
+
+	ext *history // timestamped purchases for Trending/TiedSales
+}
+
+// NewEngine returns an engine over cat.
+func NewEngine(cat *catalog.Catalog, opts ...Option) *Engine {
+	e := &Engine{
+		catalog:   cat,
+		k:         10,
+		tolerance: 0.5,
+		hybridW:   0.6,
+		gate:      true,
+		profiles:  make(map[string]*profile.Profile),
+		purchases: make(map[string]map[string]bool),
+		sellCount: make(map[string]int),
+		ext:       newHistory(),
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
+}
+
+// SetProfile installs or replaces a consumer's profile. The engine keeps a
+// deep copy; later mutation by the caller has no effect.
+func (e *Engine) SetProfile(p *profile.Profile) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.profiles[p.UserID] = p.Clone()
+}
+
+// Profile returns a copy of the stored profile for userID.
+func (e *Engine) Profile(userID string) (*profile.Profile, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	p, ok := e.profiles[userID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownUser, userID)
+	}
+	return p.Clone(), nil
+}
+
+// RecordPurchase notes that userID bought productID, feeding both the CF
+// history and the top-seller counts. Duplicate records are idempotent per
+// user but still bump popularity.
+func (e *Engine) RecordPurchase(userID, productID string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	set := e.purchases[userID]
+	if set == nil {
+		set = make(map[string]bool)
+		e.purchases[userID] = set
+	}
+	set[productID] = true
+	e.sellCount[productID]++
+}
+
+// Users returns the ids of all consumers with a profile, sorted.
+func (e *Engine) Users() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.profiles))
+	for id := range e.profiles {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Recommend answers with up to n products for userID in category using the
+// given strategy. category may be empty for cross-category recommendations
+// (CF then skips the discard gate's category test by using the consumer's
+// top category). StrategyAuto uses Hybrid and falls back to top sellers for
+// cold-start consumers.
+func (e *Engine) Recommend(strategy Strategy, userID, category string, n int) ([]Rec, error) {
+	switch strategy {
+	case StrategyCF:
+		return e.cf(userID, category, n)
+	case StrategyIF:
+		return e.ifilter(userID, category, n)
+	case StrategyHybrid:
+		return e.hybrid(userID, category, n)
+	case StrategyTopSeller:
+		return e.topSellers(category, n, "topseller"), nil
+	case StrategyAuto:
+		recs, err := e.hybrid(userID, category, n)
+		if err == nil && len(recs) > 0 {
+			return recs, nil
+		}
+		if err != nil && !errors.Is(err, ErrUnknownUser) {
+			return nil, err
+		}
+		return e.topSellers(category, n, "topseller-fallback"), nil
+	default:
+		return nil, fmt.Errorf("%w: %v", ErrUnknownStrategy, strategy)
+	}
+}
+
+// neighborCategory picks the category the discard gate compares: the
+// explicit one, or the consumer's strongest learned category.
+func neighborCategory(p *profile.Profile, category string) string {
+	if category != "" {
+		return category
+	}
+	if top := p.TopCategories(1); len(top) > 0 {
+		return top[0].Term
+	}
+	return ""
+}
+
+// cf is user-based collaborative filtering over profile similarity.
+func (e *Engine) cf(userID, category string, n int) ([]Rec, error) {
+	e.mu.RLock()
+	target, ok := e.profiles[userID]
+	if !ok {
+		e.mu.RUnlock()
+		return nil, fmt.Errorf("%w: %s", ErrUnknownUser, userID)
+	}
+	candidates := make([]*profile.Profile, 0, len(e.profiles))
+	for _, p := range e.profiles {
+		candidates = append(candidates, p)
+	}
+	own := e.ownedSet(userID)
+	e.mu.RUnlock()
+
+	cat := neighborCategory(target, category)
+	tol := e.tolerance
+	if !e.gate {
+		tol = 1 // gate never fires: |Tx-Ty|/max <= 1 always
+	}
+	neighbors, err := similarity.TopK(target, candidates, cat, tol, e.k)
+	if err != nil {
+		return nil, err
+	}
+
+	scores := make(map[string]float64)
+	e.mu.RLock()
+	for _, nb := range neighbors {
+		for pid := range e.purchases[nb.UserID] {
+			if own[pid] {
+				continue
+			}
+			scores[pid] += nb.Score
+		}
+	}
+	e.mu.RUnlock()
+	return e.finish(scores, category, n, "cf"), nil
+}
+
+// ifilter is content-based information filtering: merchandise terms against
+// the consumer's own profile weights.
+func (e *Engine) ifilter(userID, category string, n int) ([]Rec, error) {
+	e.mu.RLock()
+	target, ok := e.profiles[userID]
+	if !ok {
+		e.mu.RUnlock()
+		return nil, fmt.Errorf("%w: %s", ErrUnknownUser, userID)
+	}
+	own := e.ownedSet(userID)
+	e.mu.RUnlock()
+
+	scores := make(map[string]float64)
+	for _, p := range e.catalog.All() {
+		if category != "" && p.Category != category {
+			continue
+		}
+		if own[p.ID] {
+			continue
+		}
+		if s := contentScore(target, p); s > 0 {
+			scores[p.ID] = s
+		}
+	}
+	return e.finish(scores, category, n, "if"), nil
+}
+
+// contentScore is the dot product of the product's terms with the profile's
+// weights for the product's category and sub-category.
+func contentScore(prof *profile.Profile, p *catalog.Product) float64 {
+	cat := prof.Categories[p.Category]
+	if cat == nil {
+		return 0
+	}
+	var s float64
+	for t, w := range p.Terms {
+		s += w * cat.Terms[t]
+	}
+	if p.SubCategory != "" && cat.Subs != nil {
+		if sub := cat.Subs[p.SubCategory]; sub != nil {
+			for t, w := range p.Terms {
+				s += w * sub.Terms[t]
+			}
+		}
+	}
+	return s
+}
+
+// hybrid mixes normalized CF and IF scores with weight hybridW.
+func (e *Engine) hybrid(userID, category string, n int) ([]Rec, error) {
+	cfRecs, err := e.cf(userID, category, -1)
+	if err != nil {
+		return nil, err
+	}
+	ifRecs, err := e.ifilter(userID, category, -1)
+	if err != nil {
+		return nil, err
+	}
+	scores := make(map[string]float64, len(cfRecs)+len(ifRecs))
+	for _, r := range normalize(cfRecs) {
+		scores[r.ProductID] += e.hybridW * r.Score
+	}
+	for _, r := range normalize(ifRecs) {
+		scores[r.ProductID] += (1 - e.hybridW) * r.Score
+	}
+	return e.finish(scores, category, n, "hybrid"), nil
+}
+
+// topSellers is the popularity baseline; own purchases are not excluded
+// because it is also the anonymous fallback.
+func (e *Engine) topSellers(category string, n int, source string) []Rec {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	scores := make(map[string]float64, len(e.sellCount))
+	for pid, count := range e.sellCount {
+		if category != "" {
+			p, err := e.catalog.Get(pid)
+			if err != nil || p.Category != category {
+				continue
+			}
+		}
+		scores[pid] = float64(count)
+	}
+	return rank(scores, n, source)
+}
+
+// ownedSet snapshots a user's purchases; caller holds e.mu.
+func (e *Engine) ownedSet(userID string) map[string]bool {
+	own := make(map[string]bool, len(e.purchases[userID]))
+	for pid := range e.purchases[userID] {
+		own[pid] = true
+	}
+	return own
+}
+
+// finish ranks a score map into recommendations.
+func (e *Engine) finish(scores map[string]float64, category string, n int, source string) []Rec {
+	return rank(scores, n, source)
+}
+
+// rank orders scores descending (ties by id) and truncates to n (n < 0
+// means all).
+func rank(scores map[string]float64, n int, source string) []Rec {
+	out := make([]Rec, 0, len(scores))
+	for pid, s := range scores {
+		if s > 0 {
+			out = append(out, Rec{ProductID: pid, Score: s, Source: source})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ProductID < out[j].ProductID
+	})
+	if n >= 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// normalize scales scores to [0,1] by the max.
+func normalize(recs []Rec) []Rec {
+	var max float64
+	for _, r := range recs {
+		if r.Score > max {
+			max = r.Score
+		}
+	}
+	if max == 0 {
+		return recs
+	}
+	out := make([]Rec, len(recs))
+	for i, r := range recs {
+		r.Score /= max
+		out[i] = r
+	}
+	return out
+}
+
+// RecommendForQuery performs the Fig 4.2 step: given the merchandise
+// matches a Mobile Buyer Agent brought back, re-rank them for the consumer
+// by combining the marketplace relevance score with the consumer community's
+// preferences (neighbour ownership) and the consumer's own profile. Products
+// the consumer already owns sink to the bottom rather than disappearing —
+// the buyer still asked for them.
+func (e *Engine) RecommendForQuery(userID string, matches []catalog.Match, n int) ([]Rec, error) {
+	e.mu.RLock()
+	target, ok := e.profiles[userID]
+	var neighbors []similarity.Neighbor
+	if ok {
+		candidates := make([]*profile.Profile, 0, len(e.profiles))
+		for _, p := range e.profiles {
+			candidates = append(candidates, p)
+		}
+		e.mu.RUnlock()
+		cat := ""
+		if len(matches) > 0 {
+			cat = matches[0].Product.Category
+		}
+		var err error
+		neighbors, err = similarity.TopK(target, candidates, neighborCategory(target, cat), e.tolerance, e.k)
+		if err != nil {
+			return nil, err
+		}
+		e.mu.RLock()
+	}
+	defer e.mu.RUnlock()
+
+	nbOwn := make(map[string]float64)
+	for _, nb := range neighbors {
+		for pid := range e.purchases[nb.UserID] {
+			nbOwn[pid] += nb.Score
+		}
+	}
+	var maxRel, maxNb, maxContent float64
+	contents := make([]float64, len(matches))
+	for i, m := range matches {
+		if m.Score > maxRel {
+			maxRel = m.Score
+		}
+		if nbOwn[m.Product.ID] > maxNb {
+			maxNb = nbOwn[m.Product.ID]
+		}
+		if ok {
+			contents[i] = contentScore(target, m.Product)
+			if contents[i] > maxContent {
+				maxContent = contents[i]
+			}
+		}
+	}
+	norm := func(v, max float64) float64 {
+		if max == 0 {
+			return 0
+		}
+		return v / max
+	}
+	out := make([]Rec, 0, len(matches))
+	for i, m := range matches {
+		score := 0.4*norm(m.Score, maxRel) +
+			0.35*norm(nbOwn[m.Product.ID], maxNb) +
+			0.25*norm(contents[i], maxContent)
+		if ok && e.purchases[userID][m.Product.ID] {
+			score *= 0.1 // owned: sink, don't hide
+		}
+		out = append(out, Rec{ProductID: m.Product.ID, Score: score, Source: "query-rerank"})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ProductID < out[j].ProductID
+	})
+	if n >= 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out, nil
+}

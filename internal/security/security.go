@@ -1,0 +1,253 @@
+// Package security implements the authentication the paper's mechanism
+// requires: migrating agents carry HMAC-signed credentials, and a Mobile
+// Buyer Agent returning from a marketplace "must authenticate itself to
+// BSMA" (§4.1 principle 2) before its Buyer Recommend Agent is re-activated.
+//
+// Three pieces:
+//
+//   - Signer: HMAC-SHA256 message authentication over opaque payloads, used
+//     by the agent transfer protocol to sign migration frames.
+//   - TokenIssuer: issues and verifies per-agent travel tokens with an
+//     expiry, bound to the agent's identity and task.
+//   - Challenger: nonce challenge/response for re-entry; each nonce is
+//     single-use, which defeats replay of a captured agent image.
+package security
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Errors reported by verification. Callers match with errors.Is.
+var (
+	ErrBadSignature = errors.New("security: signature mismatch")
+	ErrExpired      = errors.New("security: token expired")
+	ErrMalformed    = errors.New("security: malformed token")
+	ErrUnknownNonce = errors.New("security: unknown or reused nonce")
+	ErrWrongSubject = errors.New("security: token subject mismatch")
+)
+
+// Signer computes and verifies HMAC-SHA256 tags over byte payloads. The zero
+// value is unusable; construct with NewSigner so every Signer has a key.
+type Signer struct {
+	key []byte
+}
+
+// NewSigner returns a Signer using key. The key is copied, so the caller may
+// reuse or zero its slice.
+func NewSigner(key []byte) *Signer {
+	k := make([]byte, len(key))
+	copy(k, key)
+	return &Signer{key: k}
+}
+
+// NewRandomSigner returns a Signer with a fresh 32-byte random key, for
+// single-process deployments where all hosts share one in-memory platform.
+func NewRandomSigner() (*Signer, error) {
+	key := make([]byte, 32)
+	if _, err := rand.Read(key); err != nil {
+		return nil, fmt.Errorf("security: generating key: %w", err)
+	}
+	return &Signer{key: key}, nil
+}
+
+// Sign returns the HMAC-SHA256 tag of payload.
+func (s *Signer) Sign(payload []byte) []byte {
+	mac := hmac.New(sha256.New, s.key)
+	mac.Write(payload)
+	return mac.Sum(nil)
+}
+
+// Verify checks tag against payload. It returns ErrBadSignature on mismatch.
+func (s *Signer) Verify(payload, tag []byte) error {
+	if !hmac.Equal(s.Sign(payload), tag) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// Token is a signed travel credential carried by a mobile agent. Subject
+// identifies the agent, Task the work it was assigned, and Expiry bounds the
+// trip; the BSMA refuses agents whose token expired while away.
+type Token struct {
+	Subject string
+	Task    string
+	Expiry  time.Time
+}
+
+// TokenIssuer mints and verifies Tokens with a shared-key Signer. The zero
+// value is unusable; use NewTokenIssuer.
+type TokenIssuer struct {
+	signer *Signer
+	clock  func() time.Time
+}
+
+// NewTokenIssuer returns an issuer signing with signer. clock may be nil, in
+// which case time.Now is used.
+func NewTokenIssuer(signer *Signer, clock func() time.Time) *TokenIssuer {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &TokenIssuer{signer: signer, clock: clock}
+}
+
+// tokenPayload is the canonical byte encoding that gets signed. Lengths are
+// prefixed so ("ab","c") and ("a","bc") cannot collide.
+func tokenPayload(subject, task string, expiry time.Time) []byte {
+	buf := make([]byte, 0, 8+len(subject)+8+len(task)+8)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(len(subject)))
+	buf = append(buf, subject...)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(len(task)))
+	buf = append(buf, task...)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(expiry.UnixNano()))
+	return buf
+}
+
+// Issue mints a signed token string for subject/task valid for ttl.
+// Format: base64(subject)|base64(task)|expiryUnixNano|hex(tag).
+func (ti *TokenIssuer) Issue(subject, task string, ttl time.Duration) string {
+	expiry := ti.clock().Add(ttl)
+	tag := ti.signer.Sign(tokenPayload(subject, task, expiry))
+	return fmt.Sprintf("%s|%s|%d|%s",
+		base64.RawURLEncoding.EncodeToString([]byte(subject)),
+		base64.RawURLEncoding.EncodeToString([]byte(task)),
+		expiry.UnixNano(),
+		hex.EncodeToString(tag))
+}
+
+// Verify parses and checks a token string, returning the embedded Token.
+// wantSubject, when non-empty, must equal the token's subject; this is how
+// the BSMA binds a returning MBA to the identity it dispatched.
+func (ti *TokenIssuer) Verify(token, wantSubject string) (Token, error) {
+	var subB64, taskB64, expStr, tagHex string
+	n, err := fmt.Sscanf(token, "%s", &token) // reject embedded whitespace
+	if err != nil || n != 1 {
+		return Token{}, ErrMalformed
+	}
+	parts := splitN(token, '|', 4)
+	if len(parts) != 4 {
+		return Token{}, ErrMalformed
+	}
+	subB64, taskB64, expStr, tagHex = parts[0], parts[1], parts[2], parts[3]
+
+	sub, err := base64.RawURLEncoding.DecodeString(subB64)
+	if err != nil {
+		return Token{}, fmt.Errorf("%w: subject: %v", ErrMalformed, err)
+	}
+	task, err := base64.RawURLEncoding.DecodeString(taskB64)
+	if err != nil {
+		return Token{}, fmt.Errorf("%w: task: %v", ErrMalformed, err)
+	}
+	var expNano int64
+	if _, err := fmt.Sscanf(expStr, "%d", &expNano); err != nil {
+		return Token{}, fmt.Errorf("%w: expiry: %v", ErrMalformed, err)
+	}
+	tag, err := hex.DecodeString(tagHex)
+	if err != nil {
+		return Token{}, fmt.Errorf("%w: tag: %v", ErrMalformed, err)
+	}
+
+	tok := Token{Subject: string(sub), Task: string(task), Expiry: time.Unix(0, expNano)}
+	if err := ti.signer.Verify(tokenPayload(tok.Subject, tok.Task, tok.Expiry), tag); err != nil {
+		return Token{}, err
+	}
+	if ti.clock().After(tok.Expiry) {
+		return Token{}, ErrExpired
+	}
+	if wantSubject != "" && tok.Subject != wantSubject {
+		return Token{}, fmt.Errorf("%w: got %q, want %q", ErrWrongSubject, tok.Subject, wantSubject)
+	}
+	return tok, nil
+}
+
+// splitN splits s on sep into at most n pieces without importing strings
+// semantics surprises for the empty string: it returns nil for "".
+func splitN(s string, sep byte, n int) []string {
+	if s == "" {
+		return nil
+	}
+	out := make([]string, 0, n)
+	start := 0
+	for i := 0; i < len(s) && len(out) < n-1; i++ {
+		if s[i] == sep {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, s[start:])
+}
+
+// Challenger issues single-use nonces and verifies challenge responses.
+// The protocol, matching §4.1 principle 2:
+//
+//  1. BSMA calls Challenge(agentID) before dispatching an MBA and sends the
+//     nonce along with the agent.
+//  2. On return, the MBA presents Respond(nonce) = HMAC(key, nonce||agentID).
+//  3. BSMA calls VerifyResponse(agentID, nonce, response); the nonce is
+//     consumed whether or not verification succeeds.
+type Challenger struct {
+	signer *Signer
+
+	mu     sync.Mutex
+	issued map[string]string // nonce -> agentID
+}
+
+// NewChallenger returns a Challenger signing with signer.
+func NewChallenger(signer *Signer) *Challenger {
+	return &Challenger{signer: signer, issued: make(map[string]string)}
+}
+
+// Challenge mints a fresh random nonce bound to agentID.
+func (c *Challenger) Challenge(agentID string) (string, error) {
+	raw := make([]byte, 16)
+	if _, err := rand.Read(raw); err != nil {
+		return "", fmt.Errorf("security: generating nonce: %w", err)
+	}
+	nonce := hex.EncodeToString(raw)
+	c.mu.Lock()
+	c.issued[nonce] = agentID
+	c.mu.Unlock()
+	return nonce, nil
+}
+
+// Respond computes the response an agent presents for nonce. Both sides of
+// the protocol share the signer key, so the same function serves both.
+func (c *Challenger) Respond(nonce, agentID string) string {
+	return hex.EncodeToString(c.signer.Sign([]byte(nonce + "\x00" + agentID)))
+}
+
+// VerifyResponse checks response for (agentID, nonce) and consumes the
+// nonce. Reuse of a nonce fails with ErrUnknownNonce even with a valid
+// response, preventing replay of captured agent images.
+func (c *Challenger) VerifyResponse(agentID, nonce, response string) error {
+	c.mu.Lock()
+	boundTo, ok := c.issued[nonce]
+	delete(c.issued, nonce)
+	c.mu.Unlock()
+	if !ok {
+		return ErrUnknownNonce
+	}
+	if boundTo != agentID {
+		return fmt.Errorf("%w: nonce bound to %q, presented by %q", ErrWrongSubject, boundTo, agentID)
+	}
+	if c.Respond(nonce, agentID) != response {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// Pending reports how many issued nonces have not been consumed, for tests
+// and leak diagnostics.
+func (c *Challenger) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.issued)
+}

@@ -1,0 +1,263 @@
+package security
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testSigner(t *testing.T) *Signer {
+	t.Helper()
+	return NewSigner([]byte("0123456789abcdef0123456789abcdef"))
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	s := testSigner(t)
+	payload := []byte("the MBA migrates back")
+	if err := s.Verify(payload, s.Sign(payload)); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestVerifyRejectsTamperedPayload(t *testing.T) {
+	s := testSigner(t)
+	tag := s.Sign([]byte("genuine"))
+	if err := s.Verify([]byte("forged"), tag); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("Verify of tampered payload = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestVerifyRejectsWrongKey(t *testing.T) {
+	a := NewSigner([]byte("key-a"))
+	b := NewSigner([]byte("key-b"))
+	payload := []byte("data")
+	if err := b.Verify(payload, a.Sign(payload)); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("cross-key Verify = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestNewSignerCopiesKey(t *testing.T) {
+	key := []byte("mutable-key-0123")
+	s := NewSigner(key)
+	tagBefore := s.Sign([]byte("x"))
+	key[0] = 'X' // caller scribbles on its slice
+	tagAfter := s.Sign([]byte("x"))
+	if string(tagBefore) != string(tagAfter) {
+		t.Fatal("Signer key aliased caller's slice")
+	}
+}
+
+func TestNewRandomSignerKeysDiffer(t *testing.T) {
+	a, err := NewRandomSigner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRandomSigner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("p")
+	if a.Verify(payload, b.Sign(payload)) == nil {
+		t.Fatal("two random signers verified each other's tags")
+	}
+}
+
+func TestSignDeterministic(t *testing.T) {
+	s := testSigner(t)
+	fn := func(payload []byte) bool {
+		t1, t2 := s.Sign(payload), s.Sign(payload)
+		return string(t1) == string(t2) && s.Verify(payload, t1) == nil
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fixedClock(at time.Time) func() time.Time { return func() time.Time { return at } }
+
+func TestTokenIssueVerify(t *testing.T) {
+	now := time.Date(2026, 6, 12, 0, 0, 0, 0, time.UTC)
+	ti := NewTokenIssuer(testSigner(t), fixedClock(now))
+	tok := ti.Issue("mba-42", "query:laptop", time.Minute)
+
+	got, err := ti.Verify(tok, "mba-42")
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if got.Subject != "mba-42" || got.Task != "query:laptop" {
+		t.Errorf("token = %+v", got)
+	}
+	if !got.Expiry.Equal(now.Add(time.Minute)) {
+		t.Errorf("Expiry = %v, want %v", got.Expiry, now.Add(time.Minute))
+	}
+}
+
+func TestTokenSubjectsWithDelimiters(t *testing.T) {
+	ti := NewTokenIssuer(testSigner(t), nil)
+	// Subjects containing the wire delimiter must survive round-trip.
+	tok := ti.Issue("agent|with|pipes", "task|x", time.Minute)
+	got, err := ti.Verify(tok, "agent|with|pipes")
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if got.Task != "task|x" {
+		t.Errorf("Task = %q", got.Task)
+	}
+}
+
+func TestTokenExpiry(t *testing.T) {
+	now := time.Date(2026, 6, 12, 0, 0, 0, 0, time.UTC)
+	current := now
+	ti := NewTokenIssuer(testSigner(t), func() time.Time { return current })
+	tok := ti.Issue("mba-1", "t", time.Minute)
+
+	current = now.Add(2 * time.Minute)
+	if _, err := ti.Verify(tok, "mba-1"); !errors.Is(err, ErrExpired) {
+		t.Fatalf("Verify expired token = %v, want ErrExpired", err)
+	}
+}
+
+func TestTokenWrongSubject(t *testing.T) {
+	ti := NewTokenIssuer(testSigner(t), nil)
+	tok := ti.Issue("mba-1", "t", time.Minute)
+	if _, err := ti.Verify(tok, "mba-2"); !errors.Is(err, ErrWrongSubject) {
+		t.Fatalf("Verify = %v, want ErrWrongSubject", err)
+	}
+}
+
+func TestTokenAnySubjectWhenEmpty(t *testing.T) {
+	ti := NewTokenIssuer(testSigner(t), nil)
+	tok := ti.Issue("whoever", "t", time.Minute)
+	if _, err := ti.Verify(tok, ""); err != nil {
+		t.Fatalf("Verify with empty wantSubject: %v", err)
+	}
+}
+
+func TestTokenTamperRejected(t *testing.T) {
+	ti := NewTokenIssuer(testSigner(t), nil)
+	tok := ti.Issue("mba-1", "buy:cheap", time.Minute)
+
+	// Flip the task field to a different valid base64 payload.
+	parts := strings.SplitN(tok, "|", 4)
+	parts[1] = parts[1][:len(parts[1])-1] + "A"
+	tampered := strings.Join(parts, "|")
+	if tampered == tok {
+		t.Skip("tamper produced identical token")
+	}
+	_, err := ti.Verify(tampered, "mba-1")
+	if err == nil {
+		t.Fatal("Verify accepted tampered token")
+	}
+}
+
+func TestTokenMalformed(t *testing.T) {
+	ti := NewTokenIssuer(testSigner(t), nil)
+	for _, tok := range []string{"", "a|b", "a|b|c|zz zz", "!!!|b|1|00", "a|!!!|1|00", "a|b|notanumber|00", "a|b|1|nothex"} {
+		if _, err := ti.Verify(tok, ""); err == nil {
+			t.Errorf("Verify(%q) accepted malformed token", tok)
+		}
+	}
+}
+
+func TestTokenCrossIssuerRejected(t *testing.T) {
+	t1 := NewTokenIssuer(NewSigner([]byte("key-1")), nil)
+	t2 := NewTokenIssuer(NewSigner([]byte("key-2")), nil)
+	tok := t1.Issue("mba-1", "t", time.Minute)
+	if _, err := t2.Verify(tok, "mba-1"); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("cross-issuer Verify = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestChallengeResponseHappyPath(t *testing.T) {
+	c := NewChallenger(testSigner(t))
+	nonce, err := c.Challenge("mba-7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := c.Respond(nonce, "mba-7")
+	if err := c.VerifyResponse("mba-7", nonce, resp); err != nil {
+		t.Fatalf("VerifyResponse: %v", err)
+	}
+	if c.Pending() != 0 {
+		t.Errorf("Pending after verify = %d, want 0", c.Pending())
+	}
+}
+
+func TestChallengeNonceSingleUse(t *testing.T) {
+	c := NewChallenger(testSigner(t))
+	nonce, _ := c.Challenge("mba-7")
+	resp := c.Respond(nonce, "mba-7")
+	if err := c.VerifyResponse("mba-7", nonce, resp); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VerifyResponse("mba-7", nonce, resp); !errors.Is(err, ErrUnknownNonce) {
+		t.Fatalf("replayed nonce = %v, want ErrUnknownNonce", err)
+	}
+}
+
+func TestChallengeWrongAgent(t *testing.T) {
+	c := NewChallenger(testSigner(t))
+	nonce, _ := c.Challenge("mba-7")
+	resp := c.Respond(nonce, "mba-8")
+	if err := c.VerifyResponse("mba-8", nonce, resp); !errors.Is(err, ErrWrongSubject) {
+		t.Fatalf("wrong agent = %v, want ErrWrongSubject", err)
+	}
+}
+
+func TestChallengeBadResponse(t *testing.T) {
+	c := NewChallenger(testSigner(t))
+	nonce, _ := c.Challenge("mba-7")
+	if err := c.VerifyResponse("mba-7", nonce, "deadbeef"); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("bad response = %v, want ErrBadSignature", err)
+	}
+	// The nonce is consumed even on failure.
+	if c.Pending() != 0 {
+		t.Errorf("Pending = %d, want 0", c.Pending())
+	}
+}
+
+func TestChallengeUnknownNonce(t *testing.T) {
+	c := NewChallenger(testSigner(t))
+	if err := c.VerifyResponse("mba-7", "never-issued", "x"); !errors.Is(err, ErrUnknownNonce) {
+		t.Fatalf("unknown nonce = %v, want ErrUnknownNonce", err)
+	}
+}
+
+func TestChallengeNoncesUnique(t *testing.T) {
+	c := NewChallenger(testSigner(t))
+	seen := make(map[string]bool)
+	for i := 0; i < 256; i++ {
+		n, err := c.Challenge("a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[n] {
+			t.Fatalf("duplicate nonce %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestSplitN(t *testing.T) {
+	tests := []struct {
+		in   string
+		n    int
+		want int
+	}{
+		{"a|b|c|d", 4, 4},
+		{"a|b|c|d|e", 4, 4}, // tail keeps remaining separators
+		{"abc", 4, 1},
+		{"", 4, 0},
+	}
+	for _, tt := range tests {
+		got := splitN(tt.in, '|', tt.n)
+		if len(got) != tt.want {
+			t.Errorf("splitN(%q) = %v (len %d), want len %d", tt.in, got, len(got), tt.want)
+		}
+	}
+	if got := splitN("a|b|c|d|e", '|', 4); got[3] != "d|e" {
+		t.Errorf("tail = %q, want %q", got[3], "d|e")
+	}
+}

@@ -1,0 +1,197 @@
+// Package similarity implements the profile-to-profile similarity the
+// recommendation mechanism uses to find like-minded consumers (§4.4,
+// Fig 4.5), plus the standard measures it is compared against.
+//
+// The paper's algorithm (quoted from Middleton) works on the weighted term
+// vectors of two consumer profiles, with one twist spelled out in §4.4: "If
+// Consumer X's preference merchandise item value Tx [is] different from
+// other consumer Y's preference merchandise item value Ty, the similarity
+// result will be discarded." That is a disagreement gate: when the two
+// consumers' aggregate preference for the merchandise category under
+// consideration diverges beyond a tolerance, the pair contributes no
+// recommendation regardless of raw vector similarity. PaperSimilarity
+// implements cosine-over-term-vectors guarded by that gate; the F4.5
+// experiment ablates the gate against plain cosine.
+package similarity
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"agentrec/internal/profile"
+)
+
+// ErrBadThreshold reports a discard threshold outside [0, 1].
+var ErrBadThreshold = errors.New("similarity: discard threshold must be in [0, 1]")
+
+// Vec is a sparse non-negative weight vector, keyed by term.
+type Vec = map[string]float64
+
+// Cosine returns the cosine similarity of a and b in [0, 1] for
+// non-negative vectors; 0 when either is empty or zero.
+func Cosine(a, b Vec) float64 {
+	var dot, na, nb float64
+	for k, x := range a {
+		na += x * x
+		if y, ok := b[k]; ok {
+			dot += x * y
+		}
+	}
+	for _, y := range b {
+		nb += y * y
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// Jaccard returns |keys(a) ∩ keys(b)| / |keys(a) ∪ keys(b)|, ignoring
+// weights; 0 for two empty vectors.
+func Jaccard(a, b Vec) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	for k := range a {
+		if _, ok := b[k]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// Overlap returns the overlap coefficient |∩| / min(|a|, |b|); 0 when
+// either vector is empty.
+func Overlap(a, b Vec) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	for k := range a {
+		if _, ok := b[k]; ok {
+			inter++
+		}
+	}
+	m := len(a)
+	if len(b) < m {
+		m = len(b)
+	}
+	return float64(inter) / float64(m)
+}
+
+// Pearson returns the Pearson correlation of a and b over the union of
+// their keys (absent keys contribute 0), in [-1, 1]; 0 when either side has
+// no variance.
+func Pearson(a, b Vec) float64 {
+	keys := make(map[string]struct{}, len(a)+len(b))
+	for k := range a {
+		keys[k] = struct{}{}
+	}
+	for k := range b {
+		keys[k] = struct{}{}
+	}
+	n := float64(len(keys))
+	if n == 0 {
+		return 0
+	}
+	var sa, sb float64
+	for k := range keys {
+		sa += a[k]
+		sb += b[k]
+	}
+	ma, mb := sa/n, sb/n
+	var cov, va, vb float64
+	for k := range keys {
+		dx, dy := a[k]-ma, b[k]-mb
+		cov += dx * dy
+		va += dx * dx
+		vb += dy * dy
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// Result is the outcome of the paper's similarity computation for a pair of
+// consumers with respect to one merchandise category.
+type Result struct {
+	Score     float64 // cosine over the full profile vectors; 0 if discarded
+	Raw       float64 // the undiscarded cosine, kept for the F4.5 ablation
+	Discarded bool    // true when the preference-value gate fired
+	Tx, Ty    float64 // the compared preference values
+}
+
+// PaperSimilarity computes the Fig 4.5 similarity between consumers x and y
+// with respect to category: cosine over the flattened profile vectors,
+// discarded (Score 0) when the two consumers' preference values for the
+// category disagree by more than tolerance, measured relatively:
+//
+//	|Tx − Ty| / max(Tx, Ty) > tolerance  ⇒  discard
+//
+// A pair where only one side knows the category at all (the other's T is 0)
+// is maximally different and always discarded for tolerance < 1. Pairs are
+// never discarded when both T values are 0 — no evidence is not
+// disagreement; the raw cosine (likely 0 anyway) stands.
+func PaperSimilarity(x, y *profile.Profile, category string, tolerance float64) (Result, error) {
+	if tolerance < 0 || tolerance > 1 {
+		return Result{}, fmt.Errorf("%w: %v", ErrBadThreshold, tolerance)
+	}
+	res := Result{
+		Tx: x.PreferenceValue(category),
+		Ty: y.PreferenceValue(category),
+	}
+	res.Raw = Cosine(x.Vector(), y.Vector())
+	res.Score = res.Raw
+	max := math.Max(res.Tx, res.Ty)
+	if max > 0 {
+		if math.Abs(res.Tx-res.Ty)/max > tolerance {
+			res.Discarded = true
+			res.Score = 0
+		}
+	}
+	return res, nil
+}
+
+// Neighbor is one candidate consumer ranked by similarity.
+type Neighbor struct {
+	UserID string
+	Score  float64
+	Raw    float64
+	Tx, Ty float64
+}
+
+// TopK ranks candidates by PaperSimilarity against target with respect to
+// category and returns the k most similar non-discarded, non-zero neighbors
+// in descending score order (ties broken by UserID for determinism). k < 0
+// returns all.
+func TopK(target *profile.Profile, candidates []*profile.Profile, category string, tolerance float64, k int) ([]Neighbor, error) {
+	out := make([]Neighbor, 0, len(candidates))
+	for _, cand := range candidates {
+		if cand.UserID == target.UserID {
+			continue
+		}
+		res, err := PaperSimilarity(target, cand, category, tolerance)
+		if err != nil {
+			return nil, err
+		}
+		if res.Discarded || res.Score <= 0 {
+			continue
+		}
+		out = append(out, Neighbor{UserID: cand.UserID, Score: res.Score, Raw: res.Raw, Tx: res.Tx, Ty: res.Ty})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].UserID < out[j].UserID
+	})
+	if k >= 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}

@@ -1,0 +1,270 @@
+package similarity
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"agentrec/internal/profile"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestCosine(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Vec
+		want float64
+	}{
+		{"identical", Vec{"x": 1, "y": 2}, Vec{"x": 1, "y": 2}, 1},
+		{"orthogonal", Vec{"x": 1}, Vec{"y": 1}, 0},
+		{"empty a", Vec{}, Vec{"x": 1}, 0},
+		{"both empty", Vec{}, Vec{}, 0},
+		{"scale invariant", Vec{"x": 1, "y": 1}, Vec{"x": 10, "y": 10}, 1},
+		{"45 degrees", Vec{"x": 1}, Vec{"x": 1, "y": 1}, 1 / math.Sqrt2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Cosine(tt.a, tt.b); !almostEq(got, tt.want) {
+				t.Errorf("Cosine = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCosineSymmetricProperty(t *testing.T) {
+	fn := func(xs, ys []uint8) bool {
+		a, b := Vec{}, Vec{}
+		for i, x := range xs {
+			a[string(rune('a'+i%8))] = float64(x)
+		}
+		for i, y := range ys {
+			b[string(rune('a'+i%8))] = float64(y)
+		}
+		s1, s2 := Cosine(a, b), Cosine(b, a)
+		return almostEq(s1, s2) && s1 >= 0 && s1 <= 1+1e-9
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	if got := Jaccard(Vec{"a": 1, "b": 1}, Vec{"b": 9, "c": 9}); !almostEq(got, 1.0/3) {
+		t.Errorf("Jaccard = %v, want 1/3", got)
+	}
+	if Jaccard(Vec{}, Vec{}) != 0 {
+		t.Error("Jaccard of empties must be 0")
+	}
+	if got := Jaccard(Vec{"a": 1}, Vec{"a": 5}); !almostEq(got, 1) {
+		t.Errorf("Jaccard ignores weights: %v", got)
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	if got := Overlap(Vec{"a": 1}, Vec{"a": 1, "b": 1, "c": 1}); !almostEq(got, 1) {
+		t.Errorf("Overlap = %v, want 1 (subset)", got)
+	}
+	if Overlap(Vec{}, Vec{"a": 1}) != 0 {
+		t.Error("Overlap with empty must be 0")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	// Perfectly linearly related over the union.
+	a := Vec{"x": 1, "y": 2, "z": 3}
+	b := Vec{"x": 2, "y": 4, "z": 6}
+	if got := Pearson(a, b); !almostEq(got, 1) {
+		t.Errorf("Pearson = %v, want 1", got)
+	}
+	// Anti-correlated.
+	c := Vec{"x": 3, "y": 2, "z": 1}
+	if got := Pearson(a, c); !almostEq(got, -1) {
+		t.Errorf("Pearson = %v, want -1", got)
+	}
+	// No variance on one side.
+	d := Vec{"x": 5, "y": 5, "z": 5}
+	if got := Pearson(a, d); got != 0 {
+		t.Errorf("Pearson with flat vector = %v, want 0", got)
+	}
+	if Pearson(Vec{}, Vec{}) != 0 {
+		t.Error("Pearson of empties must be 0")
+	}
+}
+
+func buyer(id, cat string, terms map[string]float64, times int) *profile.Profile {
+	p, _ := profile.NewProfileAlpha(id, 1.0)
+	for i := 0; i < times; i++ {
+		p.Observe(profile.Evidence{Category: cat, Terms: terms, Behaviour: profile.BehaviourBuy})
+	}
+	return p
+}
+
+func TestPaperSimilarityAgreeingConsumers(t *testing.T) {
+	x := buyer("x", "laptop", map[string]float64{"ssd": 1, "light": 0.5}, 3)
+	y := buyer("y", "laptop", map[string]float64{"ssd": 1, "light": 0.5}, 3)
+	res, err := PaperSimilarity(x, y, "laptop", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Discarded {
+		t.Fatal("agreeing consumers discarded")
+	}
+	if !almostEq(res.Score, 1) {
+		t.Errorf("Score = %v, want 1", res.Score)
+	}
+}
+
+func TestPaperSimilarityDiscardGate(t *testing.T) {
+	// Same direction of taste but very different intensity: x bought 10
+	// times, y browsed once. Tx and Ty diverge, the gate fires.
+	x := buyer("x", "laptop", map[string]float64{"ssd": 1}, 10)
+	y := buyer("y", "laptop", map[string]float64{"ssd": 1}, 1)
+	res, err := PaperSimilarity(x, y, "laptop", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Discarded {
+		t.Fatalf("gate did not fire: Tx=%v Ty=%v", res.Tx, res.Ty)
+	}
+	if res.Score != 0 {
+		t.Errorf("discarded Score = %v, want 0", res.Score)
+	}
+	if res.Raw <= 0.9 {
+		t.Errorf("Raw should stay high for the ablation: %v", res.Raw)
+	}
+}
+
+func TestPaperSimilarityToleranceWidensGate(t *testing.T) {
+	x := buyer("x", "laptop", map[string]float64{"ssd": 1}, 4)
+	y := buyer("y", "laptop", map[string]float64{"ssd": 1}, 3)
+	// |4-3|/4 = 0.25
+	strict, _ := PaperSimilarity(x, y, "laptop", 0.2)
+	loose, _ := PaperSimilarity(x, y, "laptop", 0.3)
+	if !strict.Discarded {
+		t.Error("tolerance 0.2 should discard a 0.25 disagreement")
+	}
+	if loose.Discarded {
+		t.Error("tolerance 0.3 should keep a 0.25 disagreement")
+	}
+}
+
+func TestPaperSimilarityOneSidedKnowledgeDiscarded(t *testing.T) {
+	x := buyer("x", "laptop", map[string]float64{"ssd": 1}, 2)
+	y := buyer("y", "camera", map[string]float64{"lens": 1}, 2)
+	res, _ := PaperSimilarity(x, y, "laptop", 0.5)
+	if !res.Discarded {
+		t.Error("pair with one-sided category knowledge must be discarded")
+	}
+}
+
+func TestPaperSimilarityBothZeroNotDiscarded(t *testing.T) {
+	x := buyer("x", "camera", map[string]float64{"lens": 1}, 1)
+	y := buyer("y", "camera", map[string]float64{"lens": 1}, 1)
+	// Neither knows "laptop": no evidence is not disagreement.
+	res, _ := PaperSimilarity(x, y, "laptop", 0.1)
+	if res.Discarded {
+		t.Error("pair with no category evidence on either side was discarded")
+	}
+	if !almostEq(res.Score, 1) {
+		t.Errorf("Score = %v (profiles identical elsewhere)", res.Score)
+	}
+}
+
+func TestPaperSimilarityBadTolerance(t *testing.T) {
+	x, y := buyer("x", "c", map[string]float64{"t": 1}, 1), buyer("y", "c", map[string]float64{"t": 1}, 1)
+	for _, tol := range []float64{-0.1, 1.1} {
+		if _, err := PaperSimilarity(x, y, "c", tol); !errors.Is(err, ErrBadThreshold) {
+			t.Errorf("tolerance %v accepted", tol)
+		}
+	}
+}
+
+func TestPaperSimilaritySymmetric(t *testing.T) {
+	x := buyer("x", "laptop", map[string]float64{"ssd": 1, "gpu": 2}, 2)
+	y := buyer("y", "laptop", map[string]float64{"ssd": 2, "gpu": 1}, 2)
+	r1, _ := PaperSimilarity(x, y, "laptop", 0.5)
+	r2, _ := PaperSimilarity(y, x, "laptop", 0.5)
+	if !almostEq(r1.Score, r2.Score) || r1.Discarded != r2.Discarded {
+		t.Errorf("asymmetric: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestTopKRanksAndFilters(t *testing.T) {
+	target := buyer("target", "laptop", map[string]float64{"ssd": 1, "light": 1}, 3)
+	cands := []*profile.Profile{
+		buyer("close", "laptop", map[string]float64{"ssd": 1, "light": 0.9}, 3),
+		buyer("far", "laptop", map[string]float64{"gamer": 1}, 3),
+		buyer("gated", "laptop", map[string]float64{"ssd": 1, "light": 1}, 30), // intensity mismatch
+		buyer("target", "laptop", map[string]float64{"ssd": 1}, 3),             // self, skipped
+	}
+	got, err := TopK(target, cands, "laptop", 0.2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 || got[0].UserID != "close" {
+		t.Fatalf("TopK = %+v", got)
+	}
+	for _, n := range got {
+		if n.UserID == "gated" || n.UserID == "target" {
+			t.Errorf("TopK kept %s", n.UserID)
+		}
+	}
+}
+
+func TestTopKAllWhenNegativeK(t *testing.T) {
+	target := buyer("t", "c", map[string]float64{"x": 1}, 2)
+	cands := []*profile.Profile{
+		buyer("a", "c", map[string]float64{"x": 1}, 2),
+		buyer("b", "c", map[string]float64{"x": 1}, 2),
+	}
+	got, err := TopK(target, cands, "c", 0.5, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("TopK(-1) = %d neighbors, want 2", len(got))
+	}
+}
+
+func TestTopKDeterministicTieBreak(t *testing.T) {
+	target := buyer("t", "c", map[string]float64{"x": 1}, 2)
+	cands := []*profile.Profile{
+		buyer("bbb", "c", map[string]float64{"x": 1}, 2),
+		buyer("aaa", "c", map[string]float64{"x": 1}, 2),
+	}
+	for i := 0; i < 10; i++ {
+		got, _ := TopK(target, cands, "c", 0.5, 2)
+		if got[0].UserID != "aaa" {
+			t.Fatalf("tie break not deterministic: %+v", got)
+		}
+	}
+}
+
+func TestTopKPropagatesBadTolerance(t *testing.T) {
+	target := buyer("t", "c", map[string]float64{"x": 1}, 1)
+	if _, err := TopK(target, []*profile.Profile{buyer("a", "c", map[string]float64{"x": 1}, 1)}, "c", 2, 1); err == nil {
+		t.Fatal("bad tolerance accepted")
+	}
+}
+
+// Property: the discard gate only ever zeroes scores; it never invents
+// similarity. Score is either 0 or equals Raw.
+func TestGateOnlyZeroesProperty(t *testing.T) {
+	fn := func(nx, ny uint8) bool {
+		x := buyer("x", "c", map[string]float64{"t": 1}, int(nx%20)+1)
+		y := buyer("y", "c", map[string]float64{"t": 1}, int(ny%20)+1)
+		res, err := PaperSimilarity(x, y, "c", 0.3)
+		if err != nil {
+			return false
+		}
+		if res.Discarded {
+			return res.Score == 0
+		}
+		return almostEq(res.Score, res.Raw)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,224 @@
+package workload
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"agentrec/internal/profile"
+)
+
+func small() Config {
+	return Config{Seed: 42, Users: 20, Products: 100, Categories: 5, RelevantPerUser: 10}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	u1, err := Generate(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := Generate(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u1.Users) != len(u2.Users) || len(u1.Products) != len(u2.Products) {
+		t.Fatal("sizes differ across runs")
+	}
+	for i := range u1.Users {
+		if !reflect.DeepEqual(u1.Users[i].Train, u2.Users[i].Train) {
+			t.Fatalf("user %d train events differ", i)
+		}
+		if !reflect.DeepEqual(u1.Users[i].Held, u2.Users[i].Held) {
+			t.Fatalf("user %d held sets differ", i)
+		}
+	}
+	for i := range u1.Products {
+		if !reflect.DeepEqual(u1.Products[i], u2.Products[i]) {
+			t.Fatalf("product %d differs", i)
+		}
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	cfg := small()
+	u1, _ := Generate(cfg)
+	cfg.Seed = 43
+	u2, _ := Generate(cfg)
+	same := true
+	for i := range u1.Users {
+		if !reflect.DeepEqual(u1.Users[i].Held, u2.Users[i].Held) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical universes")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	_, err := Generate(Config{TermsPerProduct: 50, TermsPerCategory: 10})
+	if !errors.Is(err, ErrBadConfig) {
+		t.Errorf("bad terms config: %v", err)
+	}
+	_, err = Generate(Config{Products: 5, RelevantPerUser: 10})
+	if !errors.Is(err, ErrBadConfig) {
+		t.Errorf("bad relevant config: %v", err)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	u, err := Generate(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Users) != 100 || len(u.Products) != 500 {
+		t.Errorf("defaults: %d users, %d products", len(u.Users), len(u.Products))
+	}
+	if u.Catalog.Len() != 500 {
+		t.Errorf("catalog size %d", u.Catalog.Len())
+	}
+}
+
+func TestUsersHaveTastesAndSplits(t *testing.T) {
+	u, _ := Generate(small())
+	for _, usr := range u.Users {
+		if len(usr.Tastes) == 0 {
+			t.Fatalf("user %s has no tastes", usr.ID)
+		}
+		if len(usr.Held) == 0 {
+			t.Fatalf("user %s has no held-out items", usr.ID)
+		}
+		if len(usr.Train) == 0 {
+			t.Fatalf("user %s has no train events", usr.ID)
+		}
+		// Held-out items never appear in train: no leakage.
+		held := make(map[string]bool, len(usr.Held))
+		for _, id := range usr.Held {
+			held[id] = true
+		}
+		for _, ev := range usr.Train {
+			if held[ev.ProductID] {
+				t.Fatalf("user %s: held item %s leaked into train", usr.ID, ev.ProductID)
+			}
+		}
+	}
+}
+
+func TestHeldItemsAreHighAffinity(t *testing.T) {
+	u, _ := Generate(small())
+	usr := u.Users[0]
+	for _, id := range usr.Held {
+		p, err := u.Catalog.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u.Affinity(usr, p) <= 0 {
+			t.Errorf("held item %s has zero affinity", id)
+		}
+	}
+}
+
+func TestAffinityZeroOutsideTastes(t *testing.T) {
+	u, _ := Generate(small())
+	usr := u.Users[0]
+	for _, p := range u.Products {
+		if _, tasted := usr.Tastes[p.Category]; !tasted {
+			if u.Affinity(usr, p) != 0 {
+				t.Fatalf("affinity nonzero for untasted category %s", p.Category)
+			}
+		}
+	}
+}
+
+func TestColdStartUsers(t *testing.T) {
+	cfg := small()
+	cfg.ColdStartUsers = 5
+	u, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cold int
+	for _, usr := range u.Users {
+		if usr.ColdStart {
+			cold++
+			if len(usr.Train) != 0 {
+				t.Errorf("cold-start user %s has train events", usr.ID)
+			}
+			if len(usr.Held) == 0 {
+				t.Errorf("cold-start user %s has no held items to evaluate against", usr.ID)
+			}
+		}
+	}
+	if cold != 5 {
+		t.Errorf("cold users = %d, want 5", cold)
+	}
+}
+
+func TestBuildProfileLearnsTastedCategories(t *testing.T) {
+	u, _ := Generate(small())
+	usr := u.Users[0]
+	p, err := u.BuildProfile(usr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Observed != len(usr.Train) {
+		t.Errorf("Observed = %d, want %d", p.Observed, len(usr.Train))
+	}
+	// The strongest learned category must be one the user actually tastes:
+	// the profile reflects the latent truth.
+	top := p.TopCategories(1)
+	if len(top) == 0 {
+		t.Fatal("profile learned nothing")
+	}
+	if _, ok := usr.Tastes[top[0].Term]; !ok {
+		t.Errorf("top learned category %s not in tastes %v", top[0].Term, usr.Tastes)
+	}
+}
+
+func TestPurchases(t *testing.T) {
+	u, _ := Generate(small())
+	purchases := u.Purchases()
+	var total int
+	for _, usr := range u.Users {
+		buys := make(map[string]bool)
+		for _, ev := range usr.Train {
+			if ev.Behaviour == profile.BehaviourBuy {
+				buys[ev.ProductID] = true
+			}
+		}
+		if len(purchases[usr.ID]) != len(buys) {
+			t.Fatalf("user %s: purchases %d, want %d (deduplicated)",
+				usr.ID, len(purchases[usr.ID]), len(buys))
+		}
+		total += len(buys)
+	}
+	if total == 0 {
+		t.Fatal("universe generated no purchases at all")
+	}
+}
+
+func TestNoiseEvents(t *testing.T) {
+	cfg := small()
+	cfg.NoiseEvents = 5
+	u, _ := Generate(cfg)
+	base := small()
+	u0, _ := Generate(base)
+	// Same seed: noisy universe has exactly 5 more events per user.
+	for i := range u0.Users {
+		diff := len(u.Users[i].Train) - len(u0.Users[i].Train)
+		if diff != 5 {
+			t.Fatalf("user %d: noise added %d events, want 5", i, diff)
+		}
+	}
+}
+
+func TestPick(t *testing.T) {
+	u, _ := Generate(small()) // just for rng setup pattern; test pick directly
+	_ = u
+	for _, p := range u.Products {
+		if len(p.Terms) == 0 {
+			t.Fatal("product without terms")
+		}
+	}
+}
