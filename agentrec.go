@@ -95,6 +95,14 @@ func WithEngineOptions(opts ...recommend.Option) Option {
 	return func(c *platform.Config) { c.EngineOpts = append(c.EngineOpts, opts...) }
 }
 
+// WithEngineShards sets how many user-keyed shards the recommendation
+// engine partitions its community state into (default 16). More shards
+// reduce write contention under heavy parallel traffic; recommendation
+// results are identical for any shard count.
+func WithEngineShards(n int) Option {
+	return func(c *platform.Config) { c.EngineShards = n }
+}
+
 // Engine re-exports; see package recommend for the full set.
 var (
 	// WithNeighbors sets the collaborative-filtering neighbourhood size.

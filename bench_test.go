@@ -7,6 +7,7 @@ package agentrec
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -161,6 +162,84 @@ func BenchmarkRecommenderCommunitySize(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkRecommendParallel measures recommendation throughput under
+// parallel load over a large community: every goroutine issues CF
+// recommendations for a rotating set of consumers. This is the scaling
+// experiment for the sharded engine — per-shard locks plus the per-category
+// candidate index must let parallel requests proceed without serializing on
+// one engine-wide mutex or rescanning the whole community per request.
+func BenchmarkRecommendParallel(b *testing.B) {
+	e, u := benchEngineSized(b, 10000, 2000, 32)
+	var next atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			user := u.Users[int(next.Add(1))%len(u.Users)].ID
+			if _, err := e.Recommend(recommend.StrategyCF, user, "", 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRecommendParallelMixed interleaves reads with profile and
+// purchase writes (2 writes per 8 operations: one SetProfile, one
+// RecordPurchase), the contention profile of a live platform where Profile
+// Agents update while Buyer Recommend Agents read.
+func BenchmarkRecommendParallelMixed(b *testing.B) {
+	e, u := benchEngineSized(b, 10000, 2000, 32)
+	profiles := make([]*profile.Profile, len(u.Users))
+	for i, usr := range u.Users {
+		p, err := u.BuildProfile(usr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		profiles[i] = p
+	}
+	var next atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(next.Add(1))
+			usr := u.Users[i%len(u.Users)]
+			switch i % 8 {
+			case 3:
+				e.SetProfile(profiles[i%len(profiles)])
+			case 6:
+				e.RecordPurchase(usr.ID, usr.Held[i%len(usr.Held)])
+			default:
+				if _, err := e.Recommend(recommend.StrategyCF, usr.ID, "", 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+func benchEngineSized(b *testing.B, users, products, categories int) (*recommend.Engine, *workload.Universe) {
+	b.Helper()
+	u, err := workload.Generate(workload.Config{
+		Seed: 17, Users: users, Products: products, Categories: categories, RelevantPerUser: 12,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := recommend.NewEngine(u.Catalog, recommend.WithNeighbors(10))
+	for _, usr := range u.Users {
+		p, err := u.BuildProfile(usr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.SetProfile(p)
+	}
+	for user, pids := range u.Purchases() {
+		for _, pid := range pids {
+			e.RecordPurchase(user, pid)
+		}
+	}
+	return e, u
 }
 
 // --- workflow benchmarks (F4.1, F4.2, F4.3, C1, C6, C7) -----------------------

@@ -1,0 +1,3 @@
+module agentrec
+
+go 1.24

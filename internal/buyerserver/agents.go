@@ -539,12 +539,16 @@ func (a *braAgent) complete(ctx *aglet.Context, st mbaState) (aglet.Message, err
 	}
 	switch st.Spec.Kind {
 	case TaskQuery:
-		recs, err := s.engine.RecommendForQuery(st.UserID, res.AllMatches(), 10)
+		// One snapshot serves both the query re-rank and the cross-sell:
+		// all scoring in this task reads one community view (neighbour
+		// enumeration tracks the live index; see Engine.indexCandidates).
+		snap := s.engine.Snapshot()
+		recs, err := s.engine.RecommendForQueryWith(snap, st.UserID, res.AllMatches(), 10)
 		if err != nil {
 			return aglet.Message{}, err
 		}
 		res.Recommendations = recs
-		if cross, err := s.engine.Recommend(recommend.StrategyAuto, st.UserID, st.Spec.Query.Category, 5); err == nil {
+		if cross, err := s.engine.RecommendWith(snap, recommend.StrategyAuto, st.UserID, st.Spec.Query.Category, 5); err == nil {
 			res.CrossSell = cross
 		}
 	default:

@@ -24,6 +24,7 @@ import (
 type Config struct {
 	Marketplaces int                // [2]
 	BuyerServers int                // [1]
+	EngineShards int                // user-keyed engine shards [recommend.DefaultShards]
 	Tracer       *trace.Recorder    // optional workflow tracer
 	EngineOpts   []recommend.Option // tuning for the shared engine
 	BuyerOpts    []buyerserver.Option
@@ -101,7 +102,12 @@ func New(cfg Config) (*Platform, error) {
 		}
 	}
 
-	p.Engine = recommend.NewEngine(p.Union, cfg.EngineOpts...)
+	engineOpts := cfg.EngineOpts
+	if cfg.EngineShards > 0 {
+		// Prepend so an explicit WithShards in EngineOpts still wins.
+		engineOpts = append([]recommend.Option{recommend.WithShards(cfg.EngineShards)}, cfg.EngineOpts...)
+	}
+	p.Engine = recommend.NewEngine(p.Union, engineOpts...)
 	for i := 0; i < cfg.BuyerServers; i++ {
 		name := fmt.Sprintf("buyer-server-%d", i+1)
 		reg := aglet.NewRegistry()

@@ -375,6 +375,35 @@ func Unmarshal(data []byte) (*Profile, error) {
 	return &p, nil
 }
 
+// Summary is a cheap immutable fingerprint of a profile: the flattened
+// similarity vector plus the per-category preference values, computed once.
+// The recommendation engine builds one per SetProfile and hands it to the
+// per-category candidate index, so neighbour search never re-flattens or
+// re-sums stored profiles pair by pair.
+type Summary struct {
+	UserID string
+	Vec    map[string]float64 // Vector(), flattened once
+	Prefs  map[string]float64 // category -> PreferenceValue; only > 0 entries
+	Terms  int                // TermCount()
+}
+
+// Summary computes the profile's fingerprint. The returned maps are
+// snapshots; mutating the profile afterwards does not affect them.
+func (p *Profile) Summary() *Summary {
+	s := &Summary{
+		UserID: p.UserID,
+		Vec:    p.Vector(),
+		Prefs:  make(map[string]float64, len(p.Categories)),
+		Terms:  p.TermCount(),
+	}
+	for name := range p.Categories {
+		if v := p.PreferenceValue(name); v > 0 {
+			s.Prefs[name] = v
+		}
+	}
+	return s
+}
+
 // TermCount reports the total number of weighted terms in the profile,
 // across categories and sub-categories.
 func (p *Profile) TermCount() int {

@@ -38,25 +38,40 @@ type purchaseEvent struct {
 }
 
 // history tracks timestamped purchases and per-user baskets for the
-// extension features. It lives beside the Engine's core state.
+// extension features. Like the Engine's core state it is partitioned into
+// user-keyed shards so concurrent RecordPurchaseAt calls contend only per
+// shard; Trending and TiedSales merge the shards on read.
 type history struct {
+	shards []*histShard
+}
+
+type histShard struct {
 	mu      sync.Mutex
 	events  []purchaseEvent
 	baskets map[string]map[string]bool // user -> distinct products bought
 }
 
-func newHistory() *history {
-	return &history{baskets: make(map[string]map[string]bool)}
+func newHistory(nshards int) *history {
+	h := &history{shards: make([]*histShard, nshards)}
+	for i := range h.shards {
+		h.shards[i] = &histShard{baskets: make(map[string]map[string]bool)}
+	}
+	return h
+}
+
+func (h *history) shardFor(userID string) *histShard {
+	return h.shards[fnv32a(userID)%uint32(len(h.shards))]
 }
 
 func (h *history) record(userID, productID string, at time.Time) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.events = append(h.events, purchaseEvent{productID: productID, at: at})
-	basket := h.baskets[userID]
+	hs := h.shardFor(userID)
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	hs.events = append(hs.events, purchaseEvent{productID: productID, at: at})
+	basket := hs.baskets[userID]
 	if basket == nil {
 		basket = make(map[string]bool)
-		h.baskets[userID] = basket
+		hs.baskets[userID] = basket
 	}
 	basket[productID] = true
 }
@@ -72,32 +87,34 @@ func (e *Engine) RecordPurchaseAt(userID, productID string, at time.Time) {
 // ending at now. Score halves per half-window of age, so a spike earlier in
 // the window ranks below the same spike just now.
 func (e *Engine) Trending(now time.Time, window time.Duration, n int) []TrendEntry {
-	e.ext.mu.Lock()
-	defer e.ext.mu.Unlock()
 	cutoff := now.Add(-window)
 	type agg struct {
 		count int
 		score float64
 	}
 	byProduct := make(map[string]*agg)
-	for _, ev := range e.ext.events {
-		if ev.at.Before(cutoff) || ev.at.After(now) {
-			continue
+	for _, hs := range e.ext.shards {
+		hs.mu.Lock()
+		for _, ev := range hs.events {
+			if ev.at.Before(cutoff) || ev.at.After(now) {
+				continue
+			}
+			a := byProduct[ev.productID]
+			if a == nil {
+				a = &agg{}
+				byProduct[ev.productID] = a
+			}
+			a.count++
+			age := now.Sub(ev.at)
+			// Halve per half-window: weight = 2^(-2·age/window).
+			weight := 1.0
+			if window > 0 {
+				frac := float64(age) / float64(window) // 0..1
+				weight = pow2(-2 * frac)
+			}
+			a.score += weight
 		}
-		a := byProduct[ev.productID]
-		if a == nil {
-			a = &agg{}
-			byProduct[ev.productID] = a
-		}
-		a.count++
-		age := now.Sub(ev.at)
-		// Halve per half-window: weight = 2^(-2·age/window).
-		weight := 1.0
-		if window > 0 {
-			frac := float64(age) / float64(window) // 0..1
-			weight = pow2(-2 * frac)
-		}
-		a.score += weight
+		hs.mu.Unlock()
 	}
 	out := make([]TrendEntry, 0, len(byProduct))
 	for pid, a := range byProduct {
@@ -140,20 +157,22 @@ func (e *Engine) TiedSales(productID string, minSupport, n int) []TiedSale {
 	if minSupport < 1 {
 		minSupport = 1
 	}
-	e.ext.mu.Lock()
-	defer e.ext.mu.Unlock()
 	co := make(map[string]int)
 	anchorBuyers := 0
-	for _, basket := range e.ext.baskets {
-		if !basket[productID] {
-			continue
-		}
-		anchorBuyers++
-		for other := range basket {
-			if other != productID {
-				co[other]++
+	for _, hs := range e.ext.shards {
+		hs.mu.Lock()
+		for _, basket := range hs.baskets {
+			if !basket[productID] {
+				continue
+			}
+			anchorBuyers++
+			for other := range basket {
+				if other != productID {
+					co[other]++
+				}
 			}
 		}
+		hs.mu.Unlock()
 	}
 	if anchorBuyers == 0 {
 		return nil

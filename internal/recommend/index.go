@@ -1,0 +1,134 @@
+package recommend
+
+import (
+	"iter"
+	"sync"
+
+	"agentrec/internal/profile"
+	"agentrec/internal/similarity"
+)
+
+// categoryIndex is the incremental candidate index: for every merchandise
+// category, the posting list of consumers with a positive preference value
+// there, each posting carrying the consumer's precomputed summary (flat
+// vector + preference value). It is maintained on every SetProfile, so CF's
+// neighbour search can iterate just the consumers active in the target
+// category instead of scanning the whole community.
+//
+// The restriction is exact, not approximate: the Fig 4.5 gate discards any
+// pair where the target has evidence in the category (Tx > 0) and the
+// candidate has none (Ty = 0), because |Tx−0|/Tx = 1 exceeds every
+// tolerance below 1. So whenever the gate is live, consumers absent from
+// the category's posting list could never have contributed anyway.
+//
+// The index is partitioned by category hash so posting updates and cache
+// rebuilds contend per category bucket, never engine-wide. SetProfile
+// calls update while holding the consumer's shard lock, so updates for one
+// consumer are totally ordered and the index always matches the shard's
+// final state — no cross-consumer ordering is needed because postings are
+// keyed per consumer.
+type categoryIndex struct {
+	shards []*indexShard
+}
+
+type indexShard struct {
+	mu       sync.RWMutex
+	postings map[string]map[string]similarity.Candidate // category -> userID -> candidate
+	cache    map[string][]similarity.Candidate          // per-category list, invalidated on write
+}
+
+func newCategoryIndex(nshards int) *categoryIndex {
+	ix := &categoryIndex{shards: make([]*indexShard, nshards)}
+	for i := range ix.shards {
+		ix.shards[i] = &indexShard{
+			postings: make(map[string]map[string]similarity.Candidate),
+			cache:    make(map[string][]similarity.Candidate),
+		}
+	}
+	return ix
+}
+
+func (ix *categoryIndex) shardFor(category string) *indexShard {
+	return ix.shards[fnv32a(category)%uint32(len(ix.shards))]
+}
+
+// update applies one SetProfile transition: remove the consumer's postings
+// for categories only the previous summary had, install the new summary's.
+// prev is the summary the shard map held before this write (nil on first
+// install). The caller holds the consumer's shard lock, which serializes
+// same-consumer updates; prev summaries therefore chain, so the union of
+// prev and new categories covers every posting that needs touching.
+func (ix *categoryIndex) update(prev, sum *profile.Summary) {
+	if prev != nil {
+		for cat := range prev.Prefs {
+			if _, still := sum.Prefs[cat]; still {
+				continue // about to be overwritten below
+			}
+			s := ix.shardFor(cat)
+			s.mu.Lock()
+			if m := s.postings[cat]; m != nil {
+				delete(m, sum.UserID)
+				if len(m) == 0 {
+					delete(s.postings, cat)
+				}
+				delete(s.cache, cat)
+			}
+			s.mu.Unlock()
+		}
+	}
+	for cat, ty := range sum.Prefs {
+		s := ix.shardFor(cat)
+		s.mu.Lock()
+		m := s.postings[cat]
+		if m == nil {
+			m = make(map[string]similarity.Candidate)
+			s.postings[cat] = m
+		}
+		m[sum.UserID] = similarity.Candidate{UserID: sum.UserID, Vec: sum.Vec, Ty: ty}
+		delete(s.cache, cat)
+		s.mu.Unlock()
+	}
+}
+
+// candidates streams the posting list for category. The backing slice is
+// immutable once built (writes invalidate rather than mutate), so iteration
+// is lock-free; rebuild cost is paid once per category per write burst and
+// blocks only this category's bucket.
+func (ix *categoryIndex) candidates(category string) iter.Seq[similarity.Candidate] {
+	s := ix.shardFor(category)
+	s.mu.RLock()
+	list, ok := s.cache[category]
+	s.mu.RUnlock()
+	if !ok {
+		s.mu.Lock()
+		if list, ok = s.cache[category]; !ok {
+			m := s.postings[category]
+			list = make([]similarity.Candidate, 0, len(m))
+			for _, c := range m {
+				list = append(list, c)
+			}
+			s.cache[category] = list
+		}
+		s.mu.Unlock()
+	}
+	return func(yield func(similarity.Candidate) bool) {
+		for _, c := range list {
+			if !yield(c) {
+				return
+			}
+		}
+	}
+}
+
+// size reports the number of indexed categories and total postings.
+func (ix *categoryIndex) size() (categories, postings int) {
+	for _, s := range ix.shards {
+		s.mu.RLock()
+		categories += len(s.postings)
+		for _, m := range s.postings {
+			postings += len(m)
+		}
+		s.mu.RUnlock()
+	}
+	return categories, postings
+}

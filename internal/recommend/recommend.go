@@ -18,13 +18,29 @@
 // Cold start (§2.3's known CF limitation) is handled by explicit fallback:
 // a consumer with no usable profile gets top sellers, and the result says
 // so. Experiment C4 measures the degradation.
+//
+// # Scaling architecture
+//
+// The engine is built to serve a large community concurrently:
+//
+//   - Community state is partitioned into user-keyed shards (fnv-1a on the
+//     consumer id), each with its own lock, so writes contend per shard.
+//   - Every SetProfile maintains an incremental per-category candidate
+//     index (posting lists of profile summaries), so CF's neighbour search
+//     iterates only the consumers active in the target category — an exact
+//     restriction under the Fig 4.5 gate, not an approximation.
+//   - Recommendation requests run lock-free against immutable Snapshots
+//     assembled from per-shard copy-on-read views; sell counts live in
+//     atomic per-shard counters merged on read.
+//
+// See DESIGN.md for the full architecture map.
 package recommend
 
 import (
 	"errors"
 	"fmt"
+	"iter"
 	"sort"
-	"sync"
 
 	"agentrec/internal/catalog"
 	"agentrec/internal/profile"
@@ -107,19 +123,32 @@ func WithDiscardGate(enabled bool) Option {
 	return func(e *Engine) { e.gate = enabled }
 }
 
+// WithShards sets the number of user-keyed state shards (default
+// DefaultShards). More shards mean less write contention; recommendations
+// are identical for any shard count.
+func WithShards(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.nshards = n
+		}
+	}
+}
+
 // Engine holds the consumer community's profiles and transaction history
-// and answers recommendation requests. Safe for concurrent use.
+// and answers recommendation requests. Safe for concurrent use: state is
+// partitioned into user-keyed shards and reads run against immutable
+// snapshots (see Snapshot).
 type Engine struct {
 	catalog   *catalog.Catalog
 	k         int
 	tolerance float64
 	hybridW   float64
 	gate      bool
+	nshards   int
 
-	mu        sync.RWMutex
-	profiles  map[string]*profile.Profile
-	purchases map[string]map[string]bool // user -> product set
-	sellCount map[string]int             // product -> total purchases
+	shards []*shard       // community state, fnv(userID) % nshards
+	sells  []*sellShard   // sell counts, fnv(productID) % nshards
+	index  *categoryIndex // per-category candidate posting lists
 
 	ext *history // timestamped purchases for Trending/TiedSales
 }
@@ -132,61 +161,114 @@ func NewEngine(cat *catalog.Catalog, opts ...Option) *Engine {
 		tolerance: 0.5,
 		hybridW:   0.6,
 		gate:      true,
-		profiles:  make(map[string]*profile.Profile),
-		purchases: make(map[string]map[string]bool),
-		sellCount: make(map[string]int),
-		ext:       newHistory(),
+		nshards:   DefaultShards,
 	}
 	for _, opt := range opts {
 		opt(e)
 	}
+	e.shards = make([]*shard, e.nshards)
+	e.sells = make([]*sellShard, e.nshards)
+	for i := 0; i < e.nshards; i++ {
+		e.shards[i] = newShard()
+		e.sells[i] = newSellShard()
+	}
+	e.index = newCategoryIndex(e.nshards)
+	e.ext = newHistory(e.nshards)
 	return e
 }
 
+func (e *Engine) shardFor(userID string) *shard {
+	return e.shards[fnv32a(userID)%uint32(len(e.shards))]
+}
+
+func (e *Engine) sellFor(productID string) *sellShard {
+	return e.sells[fnv32a(productID)%uint32(len(e.sells))]
+}
+
 // SetProfile installs or replaces a consumer's profile. The engine keeps a
-// deep copy; later mutation by the caller has no effect.
+// deep copy; later mutation by the caller has no effect. The consumer's
+// category postings in the candidate index are refreshed inside the same
+// shard critical section, so index updates for one consumer are totally
+// ordered by the shard lock and always match the shard's final state.
+// (Lock order is shard -> index bucket; no path acquires them in reverse.)
 func (e *Engine) SetProfile(p *profile.Profile) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.profiles[p.UserID] = p.Clone()
+	clone := p.Clone()
+	sum := clone.Summary()
+	sh := e.shardFor(p.UserID)
+	sh.mu.Lock()
+	var prev *profile.Summary
+	if old := sh.profiles[p.UserID]; old != nil {
+		prev = old.sum
+	}
+	sh.profiles[p.UserID] = &stored{prof: clone, sum: sum}
+	sh.gen.Add(1)
+	e.index.update(prev, sum)
+	sh.mu.Unlock()
 }
 
 // Profile returns a copy of the stored profile for userID.
 func (e *Engine) Profile(userID string) (*profile.Profile, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	p, ok := e.profiles[userID]
-	if !ok {
+	sh := e.shardFor(userID)
+	sh.mu.RLock()
+	st := sh.profiles[userID]
+	sh.mu.RUnlock()
+	if st == nil {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownUser, userID)
 	}
-	return p.Clone(), nil
+	return st.prof.Clone(), nil
 }
 
 // RecordPurchase notes that userID bought productID, feeding both the CF
 // history and the top-seller counts. Duplicate records are idempotent per
 // user but still bump popularity.
 func (e *Engine) RecordPurchase(userID, productID string) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	set := e.purchases[userID]
+	sh := e.shardFor(userID)
+	sh.mu.Lock()
+	set := sh.purchases[userID]
 	if set == nil {
 		set = make(map[string]bool)
-		e.purchases[userID] = set
+		sh.purchases[userID] = set
 	}
 	set[productID] = true
-	e.sellCount[productID]++
+	sh.gen.Add(1)
+	sh.mu.Unlock()
+	e.sellFor(productID).bump(productID)
 }
 
-// Users returns the ids of all consumers with a profile, sorted.
+// Users returns the ids of all consumers with a profile, sorted. It reads
+// shard maps directly — no snapshot views are materialized.
 func (e *Engine) Users() []string {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	out := make([]string, 0, len(e.profiles))
-	for id := range e.profiles {
-		out = append(out, id)
+	var out []string
+	for _, sh := range e.shards {
+		sh.mu.RLock()
+		for id := range sh.profiles {
+			out = append(out, id)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
+}
+
+// Stats reports engine sizing, for observability and tests.
+type Stats struct {
+	Shards            int
+	Users             int
+	IndexedCategories int
+	Postings          int
+}
+
+// Stats returns the engine's current sizing. Like Users it reads shard
+// maps directly rather than materializing snapshot views.
+func (e *Engine) Stats() Stats {
+	st := Stats{Shards: e.nshards}
+	for _, sh := range e.shards {
+		sh.mu.RLock()
+		st.Users += len(sh.profiles)
+		sh.mu.RUnlock()
+	}
+	st.IndexedCategories, st.Postings = e.index.size()
+	return st
 }
 
 // Recommend answers with up to n products for userID in category using the
@@ -195,17 +277,24 @@ func (e *Engine) Users() []string {
 // top category). StrategyAuto uses Hybrid and falls back to top sellers for
 // cold-start consumers.
 func (e *Engine) Recommend(strategy Strategy, userID, category string, n int) ([]Rec, error) {
+	return e.RecommendWith(e.Snapshot(), strategy, userID, category, n)
+}
+
+// RecommendWith is Recommend against an existing Snapshot, letting callers
+// issue several recommendations for one consistent community view (the
+// Fig 4.2 task completion asks for both a query re-rank and cross-sell).
+func (e *Engine) RecommendWith(snap *Snapshot, strategy Strategy, userID, category string, n int) ([]Rec, error) {
 	switch strategy {
 	case StrategyCF:
-		return e.cf(userID, category, n)
+		return e.cf(snap, userID, category, n)
 	case StrategyIF:
-		return e.ifilter(userID, category, n)
+		return e.ifilter(snap, userID, category, n)
 	case StrategyHybrid:
-		return e.hybrid(userID, category, n)
+		return e.hybrid(snap, userID, category, n)
 	case StrategyTopSeller:
 		return e.topSellers(category, n, "topseller"), nil
 	case StrategyAuto:
-		recs, err := e.hybrid(userID, category, n)
+		recs, err := e.hybrid(snap, userID, category, n)
 		if err == nil && len(recs) > 0 {
 			return recs, nil
 		}
@@ -230,56 +319,88 @@ func neighborCategory(p *profile.Profile, category string) string {
 	return ""
 }
 
+// neighbors runs the streaming neighbour search for the target entry. When
+// the discard gate is live (tolerance below 1) and the target has evidence
+// in the category, the per-category posting list is an exact substitute
+// for the whole community — every consumer missing from it would be gated
+// out anyway (Ty = 0 against Tx > 0). Otherwise fall back to scanning the
+// snapshot.
+func (e *Engine) neighbors(snap *Snapshot, st *stored, cat string, tol float64) ([]similarity.Neighbor, error) {
+	tx := st.sum.Prefs[cat]
+	if cat != "" && tol < 1 && tx > 0 {
+		return similarity.TopKStream(st.prof.UserID, st.sum.Vec, tx, tol, e.indexCandidates(snap, cat), e.k)
+	}
+	return similarity.TopKStream(st.prof.UserID, st.sum.Vec, tx, tol, snap.candidates(cat), e.k)
+}
+
+// indexCandidates streams the category's posting list reconciled against
+// snap: the live index only enumerates candidate ids; vectors and
+// preference values are taken from the snapshot's stored summaries, so
+// scoring is always consistent with the view the rest of the request sees
+// even while SetProfile runs concurrently. Consumers the snapshot does not
+// know (installed after it was taken) are skipped. The remaining skew is
+// enumeration-only and transient, in both directions: a consumer whose
+// category activity was first indexed after the snapshot was assembled may
+// be missed, and one whose posting was concurrently removed is dropped
+// even though the snapshot still holds them. A candidate is never
+// mis-scored; on a quiet community the posting list matches the snapshot
+// exactly (TestIndexedNeighborsMatchFullScan).
+func (e *Engine) indexCandidates(snap *Snapshot, cat string) iter.Seq[similarity.Candidate] {
+	inner := e.index.candidates(cat)
+	return func(yield func(similarity.Candidate) bool) {
+		for c := range inner {
+			st := snap.stored(c.UserID)
+			if st == nil {
+				continue
+			}
+			ty := st.sum.Prefs[cat]
+			if ty <= 0 {
+				continue
+			}
+			if !yield(similarity.Candidate{UserID: c.UserID, Vec: st.sum.Vec, Ty: ty}) {
+				return
+			}
+		}
+	}
+}
+
 // cf is user-based collaborative filtering over profile similarity.
-func (e *Engine) cf(userID, category string, n int) ([]Rec, error) {
-	e.mu.RLock()
-	target, ok := e.profiles[userID]
-	if !ok {
-		e.mu.RUnlock()
+func (e *Engine) cf(snap *Snapshot, userID, category string, n int) ([]Rec, error) {
+	st := snap.stored(userID)
+	if st == nil {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownUser, userID)
 	}
-	candidates := make([]*profile.Profile, 0, len(e.profiles))
-	for _, p := range e.profiles {
-		candidates = append(candidates, p)
-	}
-	own := e.ownedSet(userID)
-	e.mu.RUnlock()
-
-	cat := neighborCategory(target, category)
+	cat := neighborCategory(st.prof, category)
 	tol := e.tolerance
 	if !e.gate {
 		tol = 1 // gate never fires: |Tx-Ty|/max <= 1 always
 	}
-	neighbors, err := similarity.TopK(target, candidates, cat, tol, e.k)
+	neighbors, err := e.neighbors(snap, st, cat, tol)
 	if err != nil {
 		return nil, err
 	}
 
+	own := snap.Purchases(userID)
 	scores := make(map[string]float64)
-	e.mu.RLock()
 	for _, nb := range neighbors {
-		for pid := range e.purchases[nb.UserID] {
+		for pid := range snap.Purchases(nb.UserID) {
 			if own[pid] {
 				continue
 			}
 			scores[pid] += nb.Score
 		}
 	}
-	e.mu.RUnlock()
-	return e.finish(scores, category, n, "cf"), nil
+	return rank(scores, n, "cf"), nil
 }
 
 // ifilter is content-based information filtering: merchandise terms against
 // the consumer's own profile weights.
-func (e *Engine) ifilter(userID, category string, n int) ([]Rec, error) {
-	e.mu.RLock()
-	target, ok := e.profiles[userID]
-	if !ok {
-		e.mu.RUnlock()
+func (e *Engine) ifilter(snap *Snapshot, userID, category string, n int) ([]Rec, error) {
+	st := snap.stored(userID)
+	if st == nil {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownUser, userID)
 	}
-	own := e.ownedSet(userID)
-	e.mu.RUnlock()
+	own := snap.Purchases(userID)
 
 	scores := make(map[string]float64)
 	for _, p := range e.catalog.All() {
@@ -289,11 +410,11 @@ func (e *Engine) ifilter(userID, category string, n int) ([]Rec, error) {
 		if own[p.ID] {
 			continue
 		}
-		if s := contentScore(target, p); s > 0 {
+		if s := contentScore(st.prof, p); s > 0 {
 			scores[p.ID] = s
 		}
 	}
-	return e.finish(scores, category, n, "if"), nil
+	return rank(scores, n, "if"), nil
 }
 
 // contentScore is the dot product of the product's terms with the profile's
@@ -317,13 +438,14 @@ func contentScore(prof *profile.Profile, p *catalog.Product) float64 {
 	return s
 }
 
-// hybrid mixes normalized CF and IF scores with weight hybridW.
-func (e *Engine) hybrid(userID, category string, n int) ([]Rec, error) {
-	cfRecs, err := e.cf(userID, category, -1)
+// hybrid mixes normalized CF and IF scores with weight hybridW, both sides
+// computed over the same snapshot.
+func (e *Engine) hybrid(snap *Snapshot, userID, category string, n int) ([]Rec, error) {
+	cfRecs, err := e.cf(snap, userID, category, -1)
 	if err != nil {
 		return nil, err
 	}
-	ifRecs, err := e.ifilter(userID, category, -1)
+	ifRecs, err := e.ifilter(snap, userID, category, -1)
 	if err != nil {
 		return nil, err
 	}
@@ -334,38 +456,25 @@ func (e *Engine) hybrid(userID, category string, n int) ([]Rec, error) {
 	for _, r := range normalize(ifRecs) {
 		scores[r.ProductID] += (1 - e.hybridW) * r.Score
 	}
-	return e.finish(scores, category, n, "hybrid"), nil
+	return rank(scores, n, "hybrid"), nil
 }
 
 // topSellers is the popularity baseline; own purchases are not excluded
-// because it is also the anonymous fallback.
+// because it is also the anonymous fallback. Counts are merged from the
+// per-shard atomic counters.
 func (e *Engine) topSellers(category string, n int, source string) []Rec {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	scores := make(map[string]float64, len(e.sellCount))
-	for pid, count := range e.sellCount {
-		if category != "" {
-			p, err := e.catalog.Get(pid)
-			if err != nil || p.Category != category {
-				continue
+	scores := make(map[string]float64)
+	for _, ss := range e.sells {
+		ss.each(func(pid string, count int64) {
+			if category != "" {
+				p, err := e.catalog.Get(pid)
+				if err != nil || p.Category != category {
+					return
+				}
 			}
-		}
-		scores[pid] = float64(count)
+			scores[pid] = float64(count)
+		})
 	}
-	return rank(scores, n, source)
-}
-
-// ownedSet snapshots a user's purchases; caller holds e.mu.
-func (e *Engine) ownedSet(userID string) map[string]bool {
-	own := make(map[string]bool, len(e.purchases[userID]))
-	for pid := range e.purchases[userID] {
-		own[pid] = true
-	}
-	return own
-}
-
-// finish ranks a score map into recommendations.
-func (e *Engine) finish(scores map[string]float64, category string, n int, source string) []Rec {
 	return rank(scores, n, source)
 }
 
@@ -416,31 +525,29 @@ func normalize(recs []Rec) []Rec {
 // the consumer already owns sink to the bottom rather than disappearing —
 // the buyer still asked for them.
 func (e *Engine) RecommendForQuery(userID string, matches []catalog.Match, n int) ([]Rec, error) {
-	e.mu.RLock()
-	target, ok := e.profiles[userID]
+	return e.RecommendForQueryWith(e.Snapshot(), userID, matches, n)
+}
+
+// RecommendForQueryWith is RecommendForQuery against an existing Snapshot.
+func (e *Engine) RecommendForQueryWith(snap *Snapshot, userID string, matches []catalog.Match, n int) ([]Rec, error) {
+	st := snap.stored(userID)
+	known := st != nil
 	var neighbors []similarity.Neighbor
-	if ok {
-		candidates := make([]*profile.Profile, 0, len(e.profiles))
-		for _, p := range e.profiles {
-			candidates = append(candidates, p)
-		}
-		e.mu.RUnlock()
+	if known {
 		cat := ""
 		if len(matches) > 0 {
 			cat = matches[0].Product.Category
 		}
 		var err error
-		neighbors, err = similarity.TopK(target, candidates, neighborCategory(target, cat), e.tolerance, e.k)
+		neighbors, err = e.neighbors(snap, st, neighborCategory(st.prof, cat), e.tolerance)
 		if err != nil {
 			return nil, err
 		}
-		e.mu.RLock()
 	}
-	defer e.mu.RUnlock()
 
 	nbOwn := make(map[string]float64)
 	for _, nb := range neighbors {
-		for pid := range e.purchases[nb.UserID] {
+		for pid := range snap.Purchases(nb.UserID) {
 			nbOwn[pid] += nb.Score
 		}
 	}
@@ -453,8 +560,8 @@ func (e *Engine) RecommendForQuery(userID string, matches []catalog.Match, n int
 		if nbOwn[m.Product.ID] > maxNb {
 			maxNb = nbOwn[m.Product.ID]
 		}
-		if ok {
-			contents[i] = contentScore(target, m.Product)
+		if known {
+			contents[i] = contentScore(st.prof, m.Product)
 			if contents[i] > maxContent {
 				maxContent = contents[i]
 			}
@@ -466,12 +573,13 @@ func (e *Engine) RecommendForQuery(userID string, matches []catalog.Match, n int
 		}
 		return v / max
 	}
+	owned := snap.Purchases(userID)
 	out := make([]Rec, 0, len(matches))
 	for i, m := range matches {
 		score := 0.4*norm(m.Score, maxRel) +
 			0.35*norm(nbOwn[m.Product.ID], maxNb) +
 			0.25*norm(contents[i], maxContent)
-		if ok && e.purchases[userID][m.Product.ID] {
+		if known && owned[m.Product.ID] {
 			score *= 0.1 // owned: sink, don't hide
 		}
 		out = append(out, Rec{ProductID: m.Product.ID, Score: score, Source: "query-rerank"})

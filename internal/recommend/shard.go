@@ -1,0 +1,134 @@
+package recommend
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"agentrec/internal/profile"
+)
+
+// The engine partitions its community state into user-keyed shards (fnv-1a
+// on the consumer id) so profile installs, purchase records, and
+// recommendation reads contend only per shard, never on one engine-wide
+// lock. Each shard additionally maintains a copy-on-read immutable view
+// (shardView) so the recommendation hot path runs lock-free against a
+// consistent picture of the shard: a view is rebuilt at most once per write
+// generation and then shared by every reader until the next write.
+
+// DefaultShards is the shard count NewEngine uses unless WithShards
+// overrides it.
+const DefaultShards = 16
+
+// fnv32a is the 32-bit FNV-1a hash, inlined to keep user-to-shard routing
+// allocation-free.
+func fnv32a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// stored pairs an installed profile with its precomputed fingerprint. Both
+// are immutable once installed: SetProfile replaces the whole entry.
+type stored struct {
+	prof *profile.Profile
+	sum  *profile.Summary
+}
+
+// shard is one partition of the community: the profiles and purchase
+// histories of the consumers that hash here.
+type shard struct {
+	mu        sync.RWMutex
+	profiles  map[string]*stored
+	purchases map[string]map[string]bool // user -> product set
+
+	gen  atomic.Uint64             // bumped under mu on every write
+	view atomic.Pointer[shardView] // cached immutable view; stale when gen moved
+}
+
+func newShard() *shard {
+	return &shard{
+		profiles:  make(map[string]*stored),
+		purchases: make(map[string]map[string]bool),
+	}
+}
+
+// shardView is an immutable snapshot of one shard. profiles entries are
+// shared (they are immutable in place); purchase sets are deep-copied at
+// build time so later RecordPurchase calls cannot tear a reader.
+type shardView struct {
+	gen       uint64
+	profiles  map[string]*stored
+	purchases map[string]map[string]bool
+}
+
+// snapshot returns the current immutable view, rebuilding it only when a
+// write happened since the last build. The fast path is two atomic loads.
+func (sh *shard) snapshot() *shardView {
+	if v := sh.view.Load(); v != nil && v.gen == sh.gen.Load() {
+		return v
+	}
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if v := sh.view.Load(); v != nil && v.gen == sh.gen.Load() {
+		return v
+	}
+	v := &shardView{
+		gen:       sh.gen.Load(),
+		profiles:  make(map[string]*stored, len(sh.profiles)),
+		purchases: make(map[string]map[string]bool, len(sh.purchases)),
+	}
+	for id, st := range sh.profiles {
+		v.profiles[id] = st
+	}
+	for id, set := range sh.purchases {
+		cp := make(map[string]bool, len(set))
+		for pid := range set {
+			cp[pid] = true
+		}
+		v.purchases[id] = cp
+	}
+	sh.view.Store(v)
+	return v
+}
+
+// sellShard is one partition of the product sell counts (fnv-1a on the
+// product id). Counters are atomic so concurrent purchases of the same
+// product never serialize beyond the map lookup; the map lock is taken for
+// writing only on a product's first sale.
+type sellShard struct {
+	mu     sync.RWMutex
+	counts map[string]*atomic.Int64
+}
+
+func newSellShard() *sellShard {
+	return &sellShard{counts: make(map[string]*atomic.Int64)}
+}
+
+func (ss *sellShard) bump(productID string) {
+	ss.mu.RLock()
+	c := ss.counts[productID]
+	ss.mu.RUnlock()
+	if c == nil {
+		ss.mu.Lock()
+		if c = ss.counts[productID]; c == nil {
+			c = new(atomic.Int64)
+			ss.counts[productID] = c
+		}
+		ss.mu.Unlock()
+	}
+	c.Add(1)
+}
+
+// each calls fn for every product with a positive count.
+func (ss *sellShard) each(fn func(productID string, count int64)) {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	for pid, c := range ss.counts {
+		if n := c.Load(); n > 0 {
+			fn(pid, n)
+		}
+	}
+}

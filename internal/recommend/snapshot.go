@@ -1,0 +1,99 @@
+package recommend
+
+import (
+	"iter"
+	"sort"
+
+	"agentrec/internal/profile"
+	"agentrec/internal/similarity"
+)
+
+// Snapshot is an immutable view of the consumer community assembled from
+// the per-shard copy-on-read views. Every recommendation strategy runs
+// against one Snapshot, so a request sees a stable community even while
+// Profile Agents install profiles and record purchases concurrently —
+// readers never hold a lock while scoring.
+//
+// Consistency is per shard: each shard's profiles and purchases are a
+// coherent pair (a consumer's profile and own purchases always agree,
+// since both live in the consumer's shard); cross-shard skew is bounded by
+// the writes that landed while the snapshot was being assembled.
+//
+// Accessors return shared internal state. Callers must treat returned
+// profiles and purchase sets as read-only.
+type Snapshot struct {
+	views []*shardView
+}
+
+// Snapshot captures the current community view. Taking one is cheap when
+// the community is quiet — each untouched shard contributes its cached
+// view via two atomic loads.
+func (e *Engine) Snapshot() *Snapshot {
+	views := make([]*shardView, len(e.shards))
+	for i, sh := range e.shards {
+		views[i] = sh.snapshot()
+	}
+	return &Snapshot{views: views}
+}
+
+func (s *Snapshot) viewFor(userID string) *shardView {
+	return s.views[fnv32a(userID)%uint32(len(s.views))]
+}
+
+// stored returns the profile entry for userID, or nil when unknown.
+func (s *Snapshot) stored(userID string) *stored {
+	return s.viewFor(userID).profiles[userID]
+}
+
+// Profile returns the profile stored for userID, or nil when unknown. The
+// returned profile is shared and must not be mutated.
+func (s *Snapshot) Profile(userID string) *profile.Profile {
+	if st := s.stored(userID); st != nil {
+		return st.prof
+	}
+	return nil
+}
+
+// Purchases returns userID's purchase set in this view (nil when none).
+// The returned set is shared and must not be mutated.
+func (s *Snapshot) Purchases(userID string) map[string]bool {
+	return s.viewFor(userID).purchases[userID]
+}
+
+// Users returns the ids of all consumers with a profile in the view, sorted.
+func (s *Snapshot) Users() []string {
+	var out []string
+	for _, v := range s.views {
+		for id := range v.profiles {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the number of consumers with a profile in the view.
+func (s *Snapshot) Len() int {
+	n := 0
+	for _, v := range s.views {
+		n += len(v.profiles)
+	}
+	return n
+}
+
+// candidates streams every profile in the view as a similarity candidate
+// for category — the full-community fallback for when the posting-list
+// restriction does not apply (gate ablated, or a target with no evidence
+// in the category).
+func (s *Snapshot) candidates(category string) iter.Seq[similarity.Candidate] {
+	return func(yield func(similarity.Candidate) bool) {
+		for _, v := range s.views {
+			for id, st := range v.profiles {
+				c := similarity.Candidate{UserID: id, Vec: st.sum.Vec, Ty: st.sum.Prefs[category]}
+				if !yield(c) {
+					return
+				}
+			}
+		}
+	}
+}

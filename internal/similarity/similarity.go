@@ -17,6 +17,7 @@ package similarity
 import (
 	"errors"
 	"fmt"
+	"iter"
 	"math"
 	"sort"
 
@@ -147,14 +148,22 @@ func PaperSimilarity(x, y *profile.Profile, category string, tolerance float64) 
 	}
 	res.Raw = Cosine(x.Vector(), y.Vector())
 	res.Score = res.Raw
-	max := math.Max(res.Tx, res.Ty)
-	if max > 0 {
-		if math.Abs(res.Tx-res.Ty)/max > tolerance {
-			res.Discarded = true
-			res.Score = 0
-		}
+	if GateDiscards(res.Tx, res.Ty, tolerance) {
+		res.Discarded = true
+		res.Score = 0
 	}
 	return res, nil
+}
+
+// GateDiscards reports whether the Fig 4.5 preference-value gate fires for
+// the pair of aggregate preferences (tx, ty):
+//
+//	|Tx − Ty| / max(Tx, Ty) > tolerance  ⇒  discard
+//
+// Both values zero is never a discard — no evidence is not disagreement.
+func GateDiscards(tx, ty, tolerance float64) bool {
+	max := math.Max(tx, ty)
+	return max > 0 && math.Abs(tx-ty)/max > tolerance
 }
 
 // Neighbor is one candidate consumer ranked by similarity.
@@ -165,24 +174,55 @@ type Neighbor struct {
 	Tx, Ty float64
 }
 
+// Candidate is one consumer in a streaming neighbour search, carrying
+// precomputed profile data (see profile.Summary) so the ranking loop neither
+// re-flattens vectors nor re-sums preference values per pair.
+type Candidate struct {
+	UserID string
+	Vec    Vec     // flattened profile vector
+	Ty     float64 // preference value for the category under consideration
+}
+
 // TopK ranks candidates by PaperSimilarity against target with respect to
 // category and returns the k most similar non-discarded, non-zero neighbors
 // in descending score order (ties broken by UserID for determinism). k < 0
 // returns all.
 func TopK(target *profile.Profile, candidates []*profile.Profile, category string, tolerance float64, k int) ([]Neighbor, error) {
-	out := make([]Neighbor, 0, len(candidates))
-	for _, cand := range candidates {
-		if cand.UserID == target.UserID {
+	seq := func(yield func(Candidate) bool) {
+		for _, cand := range candidates {
+			c := Candidate{UserID: cand.UserID, Vec: cand.Vector(), Ty: cand.PreferenceValue(category)}
+			if !yield(c) {
+				return
+			}
+		}
+	}
+	return TopKStream(target.UserID, target.Vector(), target.PreferenceValue(category), tolerance, seq, k)
+}
+
+// TopKStream is TopK over a candidate stream instead of a materialized
+// profile slice, with the target pre-flattened: the recommendation engine
+// feeds it a per-category posting list or a shard snapshot so neighbour
+// search touches only the candidates that could pass the gate. Semantics
+// match TopK exactly: the Fig 4.5 gate, the positive-score filter, and the
+// deterministic score-then-UserID ordering. Candidates whose UserID equals
+// targetID are skipped. k < 0 returns all.
+func TopKStream(targetID string, targetVec Vec, tx, tolerance float64, candidates iter.Seq[Candidate], k int) ([]Neighbor, error) {
+	if tolerance < 0 || tolerance > 1 {
+		return nil, fmt.Errorf("%w: %v", ErrBadThreshold, tolerance)
+	}
+	out := make([]Neighbor, 0, 16)
+	for cand := range candidates {
+		if cand.UserID == targetID {
 			continue
 		}
-		res, err := PaperSimilarity(target, cand, category, tolerance)
-		if err != nil {
-			return nil, err
-		}
-		if res.Discarded || res.Score <= 0 {
+		if GateDiscards(tx, cand.Ty, tolerance) {
 			continue
 		}
-		out = append(out, Neighbor{UserID: cand.UserID, Score: res.Score, Raw: res.Raw, Tx: res.Tx, Ty: res.Ty})
+		score := Cosine(targetVec, cand.Vec)
+		if score <= 0 {
+			continue
+		}
+		out = append(out, Neighbor{UserID: cand.UserID, Score: score, Raw: score, Tx: tx, Ty: cand.Ty})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Score != out[j].Score {
