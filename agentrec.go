@@ -103,6 +103,18 @@ func WithEngineShards(n int) Option {
 	return func(c *platform.Config) { c.EngineShards = n }
 }
 
+// WithStateDir makes the platform durable under dir (created if absent):
+// the recommendation engine write-through journals every consumer profile,
+// purchase, and sell count to a WAL-backed store and recovers the whole
+// community on New, and each Buyer Agent Server persists its UserDB and
+// BSMDB the same way. A platform restarted on the same dir answers with
+// the same recommendations it gave before the restart. Combine with
+// WithEngineOptions(recommend.WithMaxResidentShards(n)) to bound how much
+// of the community stays in memory.
+func WithStateDir(dir string) Option {
+	return func(c *platform.Config) { c.StateDir = dir }
+}
+
 // Engine re-exports; see package recommend for the full set.
 var (
 	// WithNeighbors sets the collaborative-filtering neighbourhood size.

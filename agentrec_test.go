@@ -259,3 +259,39 @@ func TestHTTPTrendingAndTiedSales(t *testing.T) {
 		t.Errorf("missing product = %d, want 400", resp.StatusCode)
 	}
 }
+
+// TestWithStateDirSurvivesRestart exercises the public durability option:
+// a platform reopened on the same state dir still knows the consumer and
+// their community-derived recommendations.
+func TestWithStateDirSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	ctx := testCtx(t)
+
+	p := demoPlatform(t, WithStateDir(dir))
+	alice, err := p.NewConsumer(ctx, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alice.Buy(ctx, "lap1", 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2 := demoPlatform(t, WithStateDir(dir))
+	// Account and profile are durable: login works without registration.
+	if _, err := p2.Internal().Buyer().Login(ctx, "alice"); err != nil {
+		t.Fatalf("login after restart: %v", err)
+	}
+	prof, err := p2.Internal().Engine.Profile("alice")
+	if err != nil {
+		t.Fatalf("profile lost across restart: %v", err)
+	}
+	if len(prof.Categories) == 0 {
+		t.Error("recovered profile is empty")
+	}
+	if !p2.Internal().Engine.Snapshot().Purchases("alice")["lap1"] {
+		t.Error("purchase lost across restart")
+	}
+}

@@ -218,6 +218,54 @@ func BenchmarkRecommendParallelMixed(b *testing.B) {
 	})
 }
 
+// BenchmarkRecommendPersistent is BenchmarkRecommendParallel against a
+// WAL-journaled engine: the community is installed write-through (bulk
+// SetProfiles + journaled purchases), then parallel CF reads run. Reads
+// never touch the journal, so throughput must stay within ~2x of the
+// in-memory engine — the acceptance gate for the persistence layer.
+func BenchmarkRecommendPersistent(b *testing.B) {
+	u, err := workload.Generate(workload.Config{
+		Seed: 17, Users: 10000, Products: 2000, Categories: 32, RelevantPerUser: 12,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := recommend.Open(u.Catalog,
+		recommend.WithNeighbors(10), recommend.WithPersistence(b.TempDir()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	profiles := make([]*profile.Profile, len(u.Users))
+	for i, usr := range u.Users {
+		p, err := u.BuildProfile(usr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		profiles[i] = p
+	}
+	if err := e.SetProfiles(profiles); err != nil {
+		b.Fatal(err)
+	}
+	for user, pids := range u.Purchases() {
+		for _, pid := range pids {
+			if err := e.RecordPurchase(user, pid); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	var next atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			user := u.Users[int(next.Add(1))%len(u.Users)].ID
+			if _, err := e.Recommend(recommend.StrategyCF, user, "", 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func benchEngineSized(b *testing.B, users, products, categories int) (*recommend.Engine, *workload.Universe) {
 	b.Helper()
 	u, err := workload.Generate(workload.Config{

@@ -27,6 +27,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -50,16 +51,17 @@ func main() {
 		buyerAddr = flag.String("buyer", "127.0.0.1:7201", "buyer agent server ATP address")
 		httpAddr  = flag.String("http", "127.0.0.1:8080", "consumer web interface address")
 		key       = flag.String("key", "agentrec-demo-platform-key", "shared HMAC platform key")
+		stateDir  = flag.String("state-dir", "", "durable state directory (empty = memory-only)")
 		verbose   = flag.Bool("trace", false, "print every workflow step")
 	)
 	flag.Parse()
 
-	if err := run(*markets, *coordAddr, *marketIP, *basePort, *buyerAddr, *httpAddr, *key, *verbose); err != nil {
+	if err := run(*markets, *coordAddr, *marketIP, *basePort, *buyerAddr, *httpAddr, *key, *stateDir, *verbose); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(markets int, coordAddr, marketIP string, basePort int, buyerAddr, httpAddr, key string, verbose bool) error {
+func run(markets int, coordAddr, marketIP string, basePort int, buyerAddr, httpAddr, key, stateDir string, verbose bool) error {
 	signer := security.NewSigner([]byte(key))
 	client := atp.NewClient(signer)
 	tracer := trace.New()
@@ -135,12 +137,26 @@ func run(markets int, coordAddr, marketIP string, basePort int, buyerAddr, httpA
 	if err != nil {
 		return err
 	}
-	engine := recommend.NewEngine(union, recommend.WithNeighbors(10))
-	caProxy := buyerHost.RemoteProxy(coordAddr, coordinator.CAID)
-	buyer, err := buyerserver.New(buyerHost, buyerReg, engine, caProxy,
+	engineOpts := []recommend.Option{recommend.WithNeighbors(10)}
+	buyerOpts := []buyerserver.Option{
 		buyerserver.WithTracer(tracer),
 		buyerserver.WithMarkets(marketAddrs...),
-	)
+	}
+	if stateDir != "" {
+		engineOpts = append(engineOpts, recommend.WithPersistence(filepath.Join(stateDir, "engine")))
+		buyerOpts = append(buyerOpts, buyerserver.WithStateDir(filepath.Join(stateDir, "buyer-server-1")))
+	}
+	engine, err := recommend.Open(union, engineOpts...)
+	if err != nil {
+		return err
+	}
+	defer engine.Close()
+	if stateDir != "" {
+		st := engine.Stats()
+		log.Printf("recovered community from %s: %d consumers, %d indexed categories", stateDir, st.Users, st.IndexedCategories)
+	}
+	caProxy := buyerHost.RemoteProxy(coordAddr, coordinator.CAID)
+	buyer, err := buyerserver.New(buyerHost, buyerReg, engine, caProxy, buyerOpts...)
 	if err != nil {
 		return err
 	}

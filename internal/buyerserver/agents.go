@@ -188,7 +188,9 @@ func (a *bsmaAgent) register(userID string) (aglet.Message, error) {
 	if err := s.storeProfile(p); err != nil {
 		return aglet.Message{}, err
 	}
-	s.engine.SetProfile(p)
+	if err := s.engine.SetProfile(p); err != nil {
+		return aglet.Message{}, err
+	}
 	return aglet.Message{Kind: kindOK}, nil
 }
 
@@ -592,7 +594,9 @@ func (a *paAgent) HandleMessage(_ *aglet.Context, msg aglet.Message) (aglet.Mess
 			return aglet.Message{}, err
 		}
 		if ev.Sale != nil {
-			s.engine.RecordPurchaseAt(batch.UserID, ev.Sale.ProductID, time.Now())
+			if err := s.engine.RecordPurchaseAt(batch.UserID, ev.Sale.ProductID, time.Now()); err != nil {
+				return aglet.Message{}, err
+			}
 			key := batch.UserID + "/" + ev.Sale.Receipt
 			if err := s.userDB.EncodeJSON(bucketTxns, key, ev.Sale); err != nil {
 				return aglet.Message{}, err
@@ -605,7 +609,9 @@ func (a *paAgent) HandleMessage(_ *aglet.Context, msg aglet.Message) (aglet.Mess
 	if err := s.storeProfile(p); err != nil {
 		return aglet.Message{}, err
 	}
-	s.engine.SetProfile(p)
+	if err := s.engine.SetProfile(p); err != nil {
+		return aglet.Message{}, err
+	}
 	return aglet.Message{Kind: kindOK}, nil
 }
 

@@ -27,6 +27,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -107,6 +109,7 @@ type Server struct {
 	taskSeq  int
 	closed   bool
 	tokenTTL time.Duration
+	stateDir string
 }
 
 // Option configures a Server.
@@ -132,6 +135,15 @@ func WithEngine(e *recommend.Engine) Option {
 // WithUserDB uses a pre-opened (possibly durable) UserDB store.
 func WithUserDB(db *kvstore.Store) Option {
 	return func(s *Server) { s.userDB = db }
+}
+
+// WithStateDir persists the mechanism's databases under dir (created if
+// absent): UserDB (accounts, profiles, transactions, inbox) in userdb.wal
+// and BSMDB (directory cache, MBA trip records) in bsmdb.wal, both
+// WAL-backed and recovered on New. A store given explicitly via WithUserDB
+// takes precedence over the one this would open.
+func WithStateDir(dir string) Option {
+	return func(s *Server) { s.stateDir = dir }
 }
 
 // WithTokenTTL bounds MBA travel tokens (default one hour).
@@ -162,14 +174,50 @@ func New(host *aglet.Host, reg *aglet.Registry, engine *recommend.Engine, coordC
 		host:     host,
 		reg:      reg,
 		engine:   engine,
-		userDB:   kvstore.New(),
-		bsmDB:    kvstore.New(),
 		signer:   signer,
 		pending:  make(map[string]chan TaskResult),
 		tokenTTL: time.Hour,
 	}
 	for _, opt := range opts {
 		opt(s)
+	}
+	// Close any stores this constructor opened if a later setup step fails,
+	// so a failed New never leaks WAL file handles.
+	var opened []*kvstore.Store
+	ok := false
+	defer func() {
+		if !ok {
+			for _, db := range opened {
+				db.Close()
+			}
+		}
+	}()
+	if s.stateDir != "" {
+		if err := os.MkdirAll(s.stateDir, 0o755); err != nil {
+			return nil, fmt.Errorf("buyerserver: creating state dir: %w", err)
+		}
+		if s.userDB == nil {
+			db, err := kvstore.Open(filepath.Join(s.stateDir, "userdb.wal"))
+			if err != nil {
+				return nil, fmt.Errorf("buyerserver: opening UserDB: %w", err)
+			}
+			s.userDB = db
+			opened = append(opened, db)
+		}
+		if s.bsmDB == nil {
+			db, err := kvstore.Open(filepath.Join(s.stateDir, "bsmdb.wal"))
+			if err != nil {
+				return nil, fmt.Errorf("buyerserver: opening BSMDB: %w", err)
+			}
+			s.bsmDB = db
+			opened = append(opened, db)
+		}
+	}
+	if s.userDB == nil {
+		s.userDB = kvstore.New()
+	}
+	if s.bsmDB == nil {
+		s.bsmDB = kvstore.New()
 	}
 	s.tokens = security.NewTokenIssuer(s.signer, nil)
 	s.challenger = security.NewChallenger(s.signer)
@@ -204,6 +252,7 @@ func New(host *aglet.Host, reg *aglet.Registry, engine *recommend.Engine, coordC
 			return nil, fmt.Errorf("buyerserver: creating BSMA: %w", err)
 		}
 	}
+	ok = true
 	return s, nil
 }
 

@@ -30,16 +30,17 @@ import (
 
 // Errors returned by the store. Match with errors.Is.
 var (
-	ErrNotFound     = errors.New("kvstore: key not found")
-	ErrClosed       = errors.New("kvstore: store closed")
-	ErrCorruptWAL   = errors.New("kvstore: corrupt write-ahead log")
-	ErrEmptyKey     = errors.New("kvstore: empty key")
-	ErrEmptyBucket  = errors.New("kvstore: empty bucket name")
-	ErrInvalidName  = errors.New("kvstore: bucket name contains NUL")
-	ErrStoreDirty   = errors.New("kvstore: snapshot target not empty")
-	ErrBadSnapshot  = errors.New("kvstore: malformed snapshot")
-	errShortRecord  = errors.New("kvstore: short record")
-	errBadRecordTag = errors.New("kvstore: unknown record tag")
+	ErrNotFound      = errors.New("kvstore: key not found")
+	ErrClosed        = errors.New("kvstore: store closed")
+	ErrCorruptWAL    = errors.New("kvstore: corrupt write-ahead log")
+	ErrEmptyKey      = errors.New("kvstore: empty key")
+	ErrEmptyBucket   = errors.New("kvstore: empty bucket name")
+	ErrInvalidName   = errors.New("kvstore: bucket name contains NUL")
+	ErrStoreDirty    = errors.New("kvstore: snapshot target not empty")
+	ErrBadSnapshot   = errors.New("kvstore: malformed snapshot")
+	ErrBatchTooLarge = errors.New("kvstore: batch exceeds max record size")
+	errShortRecord   = errors.New("kvstore: short record")
+	errBadRecordTag  = errors.New("kvstore: unknown record tag")
 )
 
 // Op is a single mutation in a Batch.
@@ -115,12 +116,18 @@ func (s *Store) Delete(bucket, key string) error {
 }
 
 // Apply performs ops atomically: either all mutations are visible (and
-// logged) or none are.
+// logged) or none are. A batch whose encoded form would exceed the WAL's
+// record cap is rejected with ErrBatchTooLarge before any mutation —
+// enforced for memory-only stores too, so a batch that fits in memory can
+// never poison a later Snapshot or a durable reopen.
 func (s *Store) Apply(ops []Op) error {
 	for _, op := range ops {
 		if err := validate(op.Bucket, op.Key); err != nil {
 			return err
 		}
+	}
+	if payloadLen(ops) > maxRecordLen {
+		return fmt.Errorf("%w: %d ops", ErrBatchTooLarge, len(ops))
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -352,6 +359,14 @@ func (s *Store) RestoreInto(r io.Reader) error {
 const (
 	tagPut    = 1
 	tagDelete = 2
+
+	// maxRecordLen bounds a single record's payload, enforced on both
+	// sides: Apply rejects oversized batches up front (so an acknowledged
+	// write can never be dropped later), and replay treats an oversized
+	// length header — necessarily garbage, given the write-side cap — as a
+	// torn tail rather than allocating up to 4 GiB before the CRC check
+	// could reject it.
+	maxRecordLen = 1 << 28 // 256 MiB
 )
 
 func encodeRecord(ops []Op) []byte {
@@ -396,6 +411,9 @@ func decodeRecord(r *bufio.Reader) ([]Op, error) {
 	}
 	length := binary.BigEndian.Uint32(hdr[0:4])
 	sum := binary.BigEndian.Uint32(hdr[4:8])
+	if length > maxRecordLen {
+		return nil, errShortRecord
+	}
 	payload := make([]byte, length)
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, errShortRecord

@@ -553,3 +553,161 @@ func TestSnapshotRestoreEquivalenceProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// --- durability regression tests (double close, degenerate WALs) ---------------
+
+func TestCloseIdempotent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.wal")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("b", "k", []byte("v"))
+	if err := s.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close must be a no-op, got %v", err)
+	}
+	mem := New()
+	if err := mem.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Close(); err != nil {
+		t.Fatalf("second Close on memory store: %v", err)
+	}
+}
+
+func TestCompactAfterCloseErrClosed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.wal")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := s.Compact(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Compact after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestOpenEmptyWAL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.wal")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open on pre-existing empty WAL: %v", err)
+	}
+	defer s.Close()
+	if err := s.Put("b", "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenCorruptTailAbsurdLength(t *testing.T) {
+	// A garbage header can claim a multi-gigabyte record; replay must treat
+	// it as a torn tail and truncate, not allocate or error out.
+	path := filepath.Join(t.TempDir(), "store.wal")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("b", "intact", []byte("1"))
+	s.Close()
+	good, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// length = 0xFFFFFFF0 (~4 GiB), bogus CRC, a few payload bytes.
+	if _, err := f.Write([]byte{0xFF, 0xFF, 0xFF, 0xF0, 1, 2, 3, 4, 5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open with absurd-length tail: %v", err)
+	}
+	defer s2.Close()
+	if !s2.Has("b", "intact") {
+		t.Error("intact prefix lost")
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() != good.Size() {
+		t.Errorf("corrupt tail not truncated: size %d, want %d", after.Size(), good.Size())
+	}
+}
+
+func TestOpenCorruptTailBadCRC(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.wal")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("b", "k1", []byte("1"))
+	s.Put("b", "k2", []byte("2"))
+	s.Close()
+
+	// Flip a payload byte of the last record: the CRC check must reject it
+	// and recovery keep the prefix.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open with bit-flipped tail: %v", err)
+	}
+	defer s2.Close()
+	if !s2.Has("b", "k1") {
+		t.Error("prefix record lost")
+	}
+	if s2.Has("b", "k2") {
+		t.Error("corrupt record replayed")
+	}
+}
+
+func TestApplyRejectsOversizedBatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.wal")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// One op just over the record cap: rejected up front, nothing written,
+	// the store stays usable — an acknowledged write can never be silently
+	// truncated away by the replay-side length guard.
+	huge := make([]byte, maxRecordLen)
+	if err := s.Apply([]Op{{Bucket: "b", Key: "k", Value: huge}}); !errors.Is(err, ErrBatchTooLarge) {
+		t.Fatalf("oversized Apply = %v, want ErrBatchTooLarge", err)
+	}
+	if s.Has("b", "k") {
+		t.Error("rejected batch partially applied")
+	}
+	if err := s.Put("b", "small", []byte("v")); err != nil {
+		t.Fatalf("store unusable after rejected batch: %v", err)
+	}
+	s.Close()
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if !s2.Has("b", "small") {
+		t.Error("small record lost")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"path/filepath"
 
 	"agentrec/internal/aglet"
 	"agentrec/internal/buyerserver"
@@ -25,6 +26,7 @@ type Config struct {
 	Marketplaces int                // [2]
 	BuyerServers int                // [1]
 	EngineShards int                // user-keyed engine shards [recommend.DefaultShards]
+	StateDir     string             // durable state root; empty = memory-only [""]
 	Tracer       *trace.Recorder    // optional workflow tracer
 	EngineOpts   []recommend.Option // tuning for the shared engine
 	BuyerOpts    []buyerserver.Option
@@ -102,22 +104,35 @@ func New(cfg Config) (*Platform, error) {
 		}
 	}
 
-	engineOpts := cfg.EngineOpts
+	// Prepend defaults so explicit EngineOpts still win.
+	var engineOpts []recommend.Option
 	if cfg.EngineShards > 0 {
-		// Prepend so an explicit WithShards in EngineOpts still wins.
-		engineOpts = append([]recommend.Option{recommend.WithShards(cfg.EngineShards)}, cfg.EngineOpts...)
+		engineOpts = append(engineOpts, recommend.WithShards(cfg.EngineShards))
 	}
-	p.Engine = recommend.NewEngine(p.Union, engineOpts...)
+	if cfg.StateDir != "" {
+		// The shared engine journals the community under <StateDir>/engine
+		// and recovers it here, so a platform restart keeps every consumer.
+		engineOpts = append(engineOpts, recommend.WithPersistence(filepath.Join(cfg.StateDir, "engine")))
+	}
+	engine, err := recommend.Open(p.Union, append(engineOpts, cfg.EngineOpts...)...)
+	if err != nil {
+		return nil, err
+	}
+	p.Engine = engine
 	for i := 0; i < cfg.BuyerServers; i++ {
 		name := fmt.Sprintf("buyer-server-%d", i+1)
 		reg := aglet.NewRegistry()
 		host := p.newHost(name, reg)
 		caProxy := host.RemoteProxy("coord", coordinator.CAID)
-		opts := append([]buyerserver.Option{
+		opts := []buyerserver.Option{
 			buyerserver.WithTracer(cfg.Tracer),
 			buyerserver.WithMarkets(marketNames...),
-		}, cfg.BuyerOpts...)
-		srv, err := buyerserver.New(host, reg, p.Engine, caProxy, opts...)
+		}
+		if cfg.StateDir != "" {
+			// Each mechanism persists its own UserDB/BSMDB beside the engine.
+			opts = append(opts, buyerserver.WithStateDir(filepath.Join(cfg.StateDir, name)))
+		}
+		srv, err := buyerserver.New(host, reg, p.Engine, caProxy, append(opts, cfg.BuyerOpts...)...)
 		if err != nil {
 			return nil, err
 		}
@@ -190,19 +205,25 @@ func (p *Platform) integrate(i int, sellerID string, apply func(*catalog.Integra
 
 // SeedCommunity installs pre-built consumer profiles and purchase histories
 // into the engine, for examples and experiments that need a warm community.
-func (p *Platform) SeedCommunity(profiles []*profile.Profile, purchases map[string][]string) {
-	for _, prof := range profiles {
-		p.Engine.SetProfile(prof)
+// Profiles go through the engine's bulk-install path (one lock acquisition
+// and one durable batch per shard).
+func (p *Platform) SeedCommunity(profiles []*profile.Profile, purchases map[string][]string) error {
+	if err := p.Engine.SetProfiles(profiles); err != nil {
+		return err
 	}
 	for user, pids := range purchases {
 		for _, pid := range pids {
-			p.Engine.RecordPurchase(user, pid)
+			if err := p.Engine.RecordPurchase(user, pid); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }
 
 // Close shuts everything down: buyer servers first (they own live agents
-// with in-flight trips), then marketplaces and the coordinator.
+// with in-flight trips), then marketplaces, the coordinator, and the
+// engine's persistence journal.
 func (p *Platform) Close() error {
 	var first error
 	for _, b := range p.Buyers {
@@ -212,6 +233,11 @@ func (p *Platform) Close() error {
 	}
 	for _, h := range p.hosts {
 		if err := h.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if p.Engine != nil {
+		if err := p.Engine.Close(); err != nil && first == nil {
 			first = err
 		}
 	}

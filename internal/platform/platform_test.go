@@ -2,12 +2,14 @@ package platform
 
 import (
 	"context"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
 
 	"agentrec/internal/catalog"
 	"agentrec/internal/coordinator"
+	"agentrec/internal/profile"
 	"agentrec/internal/trace"
 )
 
@@ -174,5 +176,111 @@ func TestPlatformCloseIdempotent(t *testing.T) {
 	}
 	if err := p.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPlatformStateDirWarmRestart boots a durable platform, lets a consumer
+// shop, and restarts on the same state dir: the community (profile,
+// purchases, sell counts) and the consumer's account must all survive.
+func TestPlatformStateDirWarmRestart(t *testing.T) {
+	ctx := testCtx(t)
+	dir := t.TempDir()
+
+	boot := func() *Platform {
+		t.Helper()
+		p, err := New(Config{Marketplaces: 2, StateDir: dir, Products: demoProducts()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	p := boot()
+	if err := p.Buyer().Register(ctx, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Buyer().Login(ctx, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := p.Buyer().Buy(ctx, "alice", "p1", 0, false); err != nil || res.Sale == nil {
+		t.Fatalf("buy: %v (sale=%v)", err, res.Sale)
+	}
+	wantProfile, err := p.Engine.Profile("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRecs, err := p.Buyer().Recommendations("alice", "laptop", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2 := boot()
+	defer p2.Close()
+	// The engine recovered the community without any re-registration.
+	gotProfile, err := p2.Engine.Profile("alice")
+	if err != nil {
+		t.Fatalf("alice's profile lost across restart: %v", err)
+	}
+	if gotProfile.Observed != wantProfile.Observed {
+		t.Errorf("recovered Observed = %d, want %d", gotProfile.Observed, wantProfile.Observed)
+	}
+	if !p2.Engine.Snapshot().Purchases("alice")["p1"] {
+		t.Error("alice's purchase lost across restart")
+	}
+	// The durable UserDB still knows the account: re-register is rejected,
+	// login works directly.
+	if err := p2.Buyer().Register(ctx, "alice"); err == nil {
+		t.Error("re-register after restart succeeded; UserDB not durable")
+	}
+	if _, err := p2.Buyer().Login(ctx, "alice"); err != nil {
+		t.Fatalf("login after restart: %v", err)
+	}
+	gotRecs, err := p2.Buyer().Recommendations("alice", "laptop", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotRecs) != len(wantRecs) {
+		t.Fatalf("recommendations changed across restart: %v vs %v", gotRecs, wantRecs)
+	}
+	for i := range wantRecs {
+		if gotRecs[i].ProductID != wantRecs[i].ProductID {
+			t.Errorf("rec[%d] = %s, want %s", i, gotRecs[i].ProductID, wantRecs[i].ProductID)
+		}
+	}
+}
+
+// TestSeedCommunityBulkPath seeds through the batch install and checks the
+// index sizing matches a per-profile install.
+func TestSeedCommunityBulkPath(t *testing.T) {
+	p, err := New(Config{Marketplaces: 1, Products: demoProducts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	profiles := make([]*profile.Profile, 0, 6)
+	for i := 0; i < 6; i++ {
+		pr := profile.NewProfile(fmt.Sprintf("u%d", i))
+		prod := demoProducts()[i%4]
+		if err := pr.Observe(prod.Evidence(profile.BehaviourBuy)); err != nil {
+			t.Fatal(err)
+		}
+		profiles = append(profiles, pr)
+	}
+	if err := p.SeedCommunity(profiles, map[string][]string{"u0": {"p1"}, "u1": {"p2"}}); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Engine.Stats()
+	if st.Users != 6 {
+		t.Errorf("seeded users = %d, want 6", st.Users)
+	}
+	if st.Postings == 0 {
+		t.Error("bulk seed built no postings")
+	}
+	if !p.Engine.Snapshot().Purchases("u0")["p1"] {
+		t.Error("seeded purchase missing")
 	}
 }

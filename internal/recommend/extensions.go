@@ -77,10 +77,15 @@ func (h *history) record(userID, productID string, at time.Time) {
 }
 
 // RecordPurchaseAt is RecordPurchase with an explicit timestamp, feeding
-// the trending window. RecordPurchase uses time.Now.
-func (e *Engine) RecordPurchaseAt(userID, productID string, at time.Time) {
-	e.RecordPurchase(userID, productID)
+// the trending window. RecordPurchase uses time.Now. The timestamped
+// history is an in-memory extension: it is not journaled, so Trending and
+// TiedSales start empty after a restart even with persistence.
+func (e *Engine) RecordPurchaseAt(userID, productID string, at time.Time) error {
+	if err := e.RecordPurchase(userID, productID); err != nil {
+		return err
+	}
 	e.ext.record(userID, productID, at)
+	return nil
 }
 
 // Trending returns up to n products ranked by purchases within the window

@@ -90,6 +90,69 @@ func (ix *categoryIndex) update(prev, sum *profile.Summary) {
 	}
 }
 
+// postingChange is one SetProfile transition for updateBatch: the summary
+// the shard map held before the write (nil on first install) and the one
+// just installed.
+type postingChange struct {
+	prev, sum *profile.Summary
+}
+
+// updateBatch applies many SetProfile transitions with one lock
+// acquisition per touched category bucket instead of one per (profile,
+// category) pair — the bulk-install path. Per-bucket op order follows the
+// changes order, so a consumer appearing twice resolves to the later
+// entry, exactly as sequential update calls would. The caller holds the
+// consumers' shard lock (all changes belong to one shard).
+func (ix *categoryIndex) updateBatch(changes []postingChange) {
+	type op struct {
+		cat    string
+		userID string
+		cand   similarity.Candidate
+		remove bool
+	}
+	byBucket := make(map[*indexShard][]op)
+	for _, ch := range changes {
+		if ch.prev != nil {
+			for cat := range ch.prev.Prefs {
+				if _, still := ch.sum.Prefs[cat]; still {
+					continue
+				}
+				s := ix.shardFor(cat)
+				byBucket[s] = append(byBucket[s], op{cat: cat, userID: ch.sum.UserID, remove: true})
+			}
+		}
+		for cat, ty := range ch.sum.Prefs {
+			s := ix.shardFor(cat)
+			byBucket[s] = append(byBucket[s], op{
+				cat: cat, userID: ch.sum.UserID,
+				cand: similarity.Candidate{UserID: ch.sum.UserID, Vec: ch.sum.Vec, Ty: ty},
+			})
+		}
+	}
+	for s, ops := range byBucket {
+		s.mu.Lock()
+		for _, o := range ops {
+			if o.remove {
+				if m := s.postings[o.cat]; m != nil {
+					delete(m, o.userID)
+					if len(m) == 0 {
+						delete(s.postings, o.cat)
+					}
+				}
+			} else {
+				m := s.postings[o.cat]
+				if m == nil {
+					m = make(map[string]similarity.Candidate)
+					s.postings[o.cat] = m
+				}
+				m[o.userID] = o.cand
+			}
+			delete(s.cache, o.cat)
+		}
+		s.mu.Unlock()
+	}
+}
+
 // candidates streams the posting list for category. The backing slice is
 // immutable once built (writes invalidate rather than mutate), so iteration
 // is lock-free; rebuild cost is paid once per category per write burst and

@@ -1,0 +1,458 @@
+package recommend
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"agentrec/internal/kvstore"
+	"agentrec/internal/profile"
+)
+
+// This file is the engine's durability layer. The paper's Buyer Agent
+// Server holds every consumer's interest profile and purchase history; at
+// production scale that community must survive a server restart and must
+// not be forced to fit in memory. The engine therefore write-through
+// journals every mutation to a Persister (one atomic batch per mutation),
+// recovers the full community — profiles, purchase sets, sell counts, and
+// the per-category candidate index — on construction, and can spill cold
+// shards out of memory entirely: because every write is already durable,
+// spilling is just dropping the maps, and fault-in is a bucket scan.
+//
+// See DESIGN.md "Durability" for the WAL layout and spill policy.
+
+// Errors reported by the persistence layer.
+var (
+	ErrNoPersistence = errors.New("recommend: engine has no persistence configured")
+	ErrBadKey        = errors.New("recommend: id contains NUL byte")
+)
+
+// ShardData is one community shard as recovered from a Persister.
+type ShardData struct {
+	Profiles  []*profile.Profile
+	Purchases map[string]map[string]bool // user -> product set
+}
+
+// Persister journals community mutations durably and replays them on
+// engine construction. Implementations must be safe for concurrent use;
+// the engine guarantees that calls touching one shard's buckets are
+// serialized by that shard's lock, so per-shard write order in the journal
+// matches in-memory order.
+type Persister interface {
+	// SaveProfiles durably installs profiles into shard's bucket, as one
+	// atomic batch. It is called before the in-memory install (journal
+	// first), so a crash can lose an acknowledged write only if SaveProfiles
+	// itself errored.
+	SaveProfiles(shard int, profs []*profile.Profile) error
+	// SavePurchase durably records userID buying productID (in userShard's
+	// bucket) together with the product's new total sell count (in
+	// sellShard's bucket), as one atomic batch.
+	SavePurchase(userShard int, userID, productID string, sellShard int, total int64) error
+	// LoadShard recovers one shard's profiles and purchase sets.
+	LoadShard(shard int) (ShardData, error)
+	// LoadSells recovers one sell shard's product -> total map.
+	LoadSells(shard int) (map[string]int64, error)
+	// ShardUsers lists the consumer ids stored in shard without loading
+	// profiles, so Users/Stats can answer for spilled shards cheaply.
+	ShardUsers(shard int) ([]string, error)
+	// Compact rewrites the journal down to live state.
+	Compact() error
+	// Close flushes and releases the journal. Must be idempotent.
+	Close() error
+}
+
+// WithPersistence journals the engine's community to a WAL-backed kvstore
+// under dir (created if absent) and recovers any existing state on
+// construction. Engines with persistence must be built with Open, which
+// can report recovery errors, and should be Closed.
+func WithPersistence(dir string) Option {
+	return func(e *Engine) { e.stateDir = dir }
+}
+
+// WithPersister uses a caller-supplied Persister instead of the kvstore
+// one WithPersistence opens. Like WithPersistence it requires Open.
+func WithPersister(p Persister) Option {
+	return func(e *Engine) { e.persist = p }
+}
+
+// WithMaxResidentShards bounds how many community shards stay in memory at
+// once (LRU by last access); the rest spill to the Persister and fault back
+// in transparently on access. Only meaningful with persistence; n is
+// clamped to at least 1. Zero (the default) keeps every shard resident.
+func WithMaxResidentShards(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.maxResident = n
+		}
+	}
+}
+
+// spilling reports whether shards may leave memory.
+func (e *Engine) spilling() bool {
+	return e.persist != nil && e.maxResident > 0 && e.maxResident < e.nshards
+}
+
+// Err returns the sticky persistence error, if any: a fault-in failure on
+// a read path that had no error return. Close surfaces it too.
+func (e *Engine) Err() error {
+	e.resMu.Lock()
+	defer e.resMu.Unlock()
+	return e.stickyErr
+}
+
+func (e *Engine) setErr(err error) {
+	e.resMu.Lock()
+	if e.stickyErr == nil {
+		e.stickyErr = err
+	}
+	e.resMu.Unlock()
+}
+
+// Close releases the engine's Persister (a no-op for memory-only engines)
+// and reports any sticky persistence error. It is idempotent.
+func (e *Engine) Close() error {
+	var err error
+	if e.persist != nil {
+		err = e.persist.Close()
+	}
+	if serr := e.Err(); err == nil {
+		err = serr
+	}
+	return err
+}
+
+// CompactState rewrites the persistence journal down to live state,
+// shrinking a WAL that accumulated profile overwrites. ErrNoPersistence
+// for memory-only engines.
+func (e *Engine) CompactState() error {
+	if e.persist == nil {
+		return ErrNoPersistence
+	}
+	return e.persist.Compact()
+}
+
+// --- residency: touch, fault-in, LRU eviction ---
+
+// touch bumps the shard's LRU clock.
+func (e *Engine) touch(sh *shard) {
+	if e.spilling() {
+		sh.lastAccess.Store(e.clock.Add(1))
+	}
+}
+
+// lockResidentW acquires sh.mu for writing with the shard guaranteed
+// resident, faulting it in from the Persister if it was spilled. The caller
+// must Unlock and then call maybeEvict.
+func (e *Engine) lockResidentW(sh *shard) error {
+	sh.mu.Lock()
+	if !sh.resident.Load() {
+		if err := e.faultInLocked(sh); err != nil {
+			sh.mu.Unlock()
+			return err
+		}
+	}
+	e.touch(sh)
+	return nil
+}
+
+// faultInLocked reloads a spilled shard from the Persister. Caller holds
+// sh.mu for writing. The candidate index is untouched: postings survive
+// spilling, so they are already exact for the shard's durable state.
+func (e *Engine) faultInLocked(sh *shard) error {
+	data, err := e.persist.LoadShard(sh.id)
+	if err != nil {
+		return fmt.Errorf("recommend: faulting in shard %d: %w", sh.id, err)
+	}
+	sh.profiles = make(map[string]*stored, len(data.Profiles))
+	for _, prof := range data.Profiles {
+		sh.profiles[prof.UserID] = &stored{prof: prof, sum: prof.Summary()}
+	}
+	if data.Purchases == nil {
+		data.Purchases = make(map[string]map[string]bool)
+	}
+	sh.purchases = data.Purchases
+	sh.gen.Add(1)
+	sh.resident.Store(true)
+	e.resMu.Lock()
+	e.residentN++
+	e.resMu.Unlock()
+	return nil
+}
+
+// maybeEvict spills least-recently-accessed shards until the resident
+// count is back under the cap. keep is the shard just served; it is never
+// the victim. At most one shard lock is held at a time (lock order shard
+// -> resMu, same as fault-in), so eviction can never deadlock with
+// concurrent fault-ins.
+func (e *Engine) maybeEvict(keep *shard) {
+	if !e.spilling() {
+		return
+	}
+	for {
+		e.resMu.Lock()
+		over := e.residentN > e.maxResident
+		e.resMu.Unlock()
+		if !over {
+			return
+		}
+		var victim *shard
+		var oldest uint64
+		for _, sh := range e.shards {
+			if sh == keep || !sh.resident.Load() {
+				continue
+			}
+			if at := sh.lastAccess.Load(); victim == nil || at < oldest {
+				victim, oldest = sh, at
+			}
+		}
+		if victim == nil {
+			return
+		}
+		victim.mu.Lock()
+		if victim.resident.Load() {
+			victim.profiles = nil
+			victim.purchases = nil
+			victim.resident.Store(false)
+			victim.gen.Add(1) // invalidate any cached view
+			victim.view.Store(nil)
+			e.resMu.Lock()
+			e.residentN--
+			e.resMu.Unlock()
+		}
+		victim.mu.Unlock()
+	}
+}
+
+// faultIn makes sh resident (no-op if it already is), then rebalances the
+// resident set. Takes and releases sh.mu.
+func (e *Engine) faultIn(sh *shard) error {
+	sh.mu.Lock()
+	if !sh.resident.Load() {
+		if err := e.faultInLocked(sh); err != nil {
+			sh.mu.Unlock()
+			return err
+		}
+	}
+	e.touch(sh)
+	sh.mu.Unlock()
+	e.maybeEvict(sh)
+	return nil
+}
+
+// residentView returns an immutable view of sh, faulting the shard in if
+// it was spilled. Used by lazy Snapshots.
+func (e *Engine) residentView(sh *shard) (*shardView, error) {
+	for tries := 0; tries < 16; tries++ {
+		if v := sh.snapshot(); v != nil {
+			e.touch(sh)
+			return v, nil
+		}
+		if err := e.faultIn(sh); err != nil {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("recommend: shard %d thrashing between fault-in and eviction", sh.id)
+}
+
+// recover replays the Persister into the engine: postings for every
+// consumer (the index is always fully resident), shard maps up to the
+// resident cap, and the sell counters. Called by Open before the engine is
+// shared, so no locks are needed.
+func (e *Engine) recover() error {
+	for _, sh := range e.shards {
+		data, err := e.persist.LoadShard(sh.id)
+		if err != nil {
+			return fmt.Errorf("recommend: recovering shard %d: %w", sh.id, err)
+		}
+		keep := e.maxResident <= 0 || e.residentN < e.maxResident
+		for _, prof := range data.Profiles {
+			sum := prof.Summary()
+			e.index.update(nil, sum)
+			if keep {
+				sh.profiles[prof.UserID] = &stored{prof: prof, sum: sum}
+			}
+		}
+		if keep {
+			if data.Purchases != nil {
+				sh.purchases = data.Purchases
+			}
+			e.residentN++
+		} else {
+			sh.profiles = nil
+			sh.purchases = nil
+			sh.resident.Store(false)
+		}
+	}
+	for _, ss := range e.sells {
+		counts, err := e.persist.LoadSells(ss.id)
+		if err != nil {
+			return fmt.Errorf("recommend: recovering sell shard %d: %w", ss.id, err)
+		}
+		for pid, total := range counts {
+			c := ss.counts[pid]
+			if c == nil {
+				c = new(atomic.Int64)
+				ss.counts[pid] = c
+			}
+			c.Store(total)
+		}
+	}
+	return nil
+}
+
+// --- the kvstore-backed Persister ---
+
+// Bucket scheme: one bucket per shard and kind, so recovery and fault-in
+// are single ordered prefix scans and shard buckets never interleave.
+//
+//	prof/<shard>  : <userID>                 -> profile JSON
+//	purch/<shard> : <userID> \x00 <productID> -> 0x01
+//	sell/<shard>  : <productID>              -> decimal total
+const (
+	bucketProfiles  = "prof/"
+	bucketPurchases = "purch/"
+	bucketSells     = "sell/"
+)
+
+// CommunityWAL is the journal file name under a WithPersistence dir.
+const CommunityWAL = "community.wal"
+
+// kvPersister is the Persister WithPersistence opens: all shards share one
+// kvstore.Store whose WAL provides atomic batches, torn-tail recovery, and
+// its own synchronization.
+type kvPersister struct {
+	store *kvstore.Store
+}
+
+// OpenPersister opens (creating if needed) the kvstore-backed Persister
+// rooted at dir. Exposed so tools can inspect or compact a community
+// journal without building an Engine.
+func OpenPersister(dir string) (Persister, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("recommend: creating state dir: %w", err)
+	}
+	store, err := kvstore.Open(filepath.Join(dir, CommunityWAL))
+	if err != nil {
+		return nil, err
+	}
+	return &kvPersister{store: store}, nil
+}
+
+// saveProfilesChunk bounds one durable batch well under the kvstore record
+// cap; a bulk install larger than this is split into several atomic
+// batches (equivalent to a sequence of smaller SetProfiles calls).
+const saveProfilesChunk = 4 << 20 // 4 MiB of encoded profiles
+
+func profBucket(shard int) string  { return bucketProfiles + strconv.Itoa(shard) }
+func purchBucket(shard int) string { return bucketPurchases + strconv.Itoa(shard) }
+func sellBucket(shard int) string  { return bucketSells + strconv.Itoa(shard) }
+
+func (kp *kvPersister) SaveProfiles(shard int, profs []*profile.Profile) error {
+	ops := make([]kvstore.Op, 0, len(profs))
+	pending := 0
+	flush := func() error {
+		if len(ops) == 0 {
+			return nil
+		}
+		if err := kp.store.Apply(ops); err != nil {
+			return err
+		}
+		ops, pending = ops[:0], 0
+		return nil
+	}
+	for _, p := range profs {
+		if strings.ContainsRune(p.UserID, 0) {
+			return fmt.Errorf("%w: user %q", ErrBadKey, p.UserID)
+		}
+		data, err := p.Marshal()
+		if err != nil {
+			return fmt.Errorf("recommend: encoding profile %s: %w", p.UserID, err)
+		}
+		if pending+len(data) > saveProfilesChunk {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		ops = append(ops, kvstore.Op{Bucket: profBucket(shard), Key: p.UserID, Value: data})
+		pending += len(data)
+	}
+	return flush()
+}
+
+func (kp *kvPersister) SavePurchase(userShard int, userID, productID string, sellShard int, total int64) error {
+	if strings.ContainsRune(userID, 0) || strings.ContainsRune(productID, 0) {
+		return fmt.Errorf("%w: purchase %q/%q", ErrBadKey, userID, productID)
+	}
+	return kp.store.Apply([]kvstore.Op{
+		{Bucket: purchBucket(userShard), Key: userID + "\x00" + productID, Value: []byte{1}},
+		{Bucket: sellBucket(sellShard), Key: productID, Value: []byte(strconv.FormatInt(total, 10))},
+	})
+}
+
+func (kp *kvPersister) LoadShard(shard int) (ShardData, error) {
+	data := ShardData{Purchases: make(map[string]map[string]bool)}
+	profs, err := kp.store.Scan(profBucket(shard), "")
+	if err != nil {
+		return data, err
+	}
+	for _, ent := range profs {
+		p, err := profile.Unmarshal(ent.Value)
+		if err != nil {
+			return data, fmt.Errorf("recommend: shard %d profile %s: %w", shard, ent.Key, err)
+		}
+		data.Profiles = append(data.Profiles, p)
+	}
+	purchs, err := kp.store.Scan(purchBucket(shard), "")
+	if err != nil {
+		return data, err
+	}
+	for _, ent := range purchs {
+		user, product, ok := strings.Cut(ent.Key, "\x00")
+		if !ok {
+			return data, fmt.Errorf("recommend: shard %d malformed purchase key %q", shard, ent.Key)
+		}
+		set := data.Purchases[user]
+		if set == nil {
+			set = make(map[string]bool)
+			data.Purchases[user] = set
+		}
+		set[product] = true
+	}
+	return data, nil
+}
+
+func (kp *kvPersister) LoadSells(shard int) (map[string]int64, error) {
+	ents, err := kp.store.Scan(sellBucket(shard), "")
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int64, len(ents))
+	for _, ent := range ents {
+		total, err := strconv.ParseInt(string(ent.Value), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("recommend: sell shard %d count for %s: %w", shard, ent.Key, err)
+		}
+		out[ent.Key] = total
+	}
+	return out, nil
+}
+
+func (kp *kvPersister) ShardUsers(shard int) ([]string, error) {
+	ents, err := kp.store.Scan(profBucket(shard), "")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(ents))
+	for i, ent := range ents {
+		out[i] = ent.Key
+	}
+	return out, nil
+}
+
+func (kp *kvPersister) Compact() error { return kp.store.Compact() }
+
+func (kp *kvPersister) Close() error { return kp.store.Close() }

@@ -1,0 +1,555 @@
+package recommend
+
+// Durability tests: warm restart recovers the exact community, a crash
+// mid-batch (torn WAL tail) recovers the intact prefix, spilled shards
+// answer identically to resident ones, and the whole persistence path
+// survives a -race soak.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"agentrec/internal/profile"
+	"agentrec/internal/workload"
+)
+
+// loadEngineErr is loadEngine for persistent engines: construction and
+// writes report errors instead of panicking.
+func loadEngineErr(t *testing.T, u *workload.Universe, profiles []*profile.Profile, opts ...Option) *Engine {
+	t.Helper()
+	e, err := Open(u.Catalog, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range profiles {
+		if err := e.SetProfile(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for user, pids := range u.Purchases() {
+		for _, pid := range pids {
+			if err := e.RecordPurchase(user, pid); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return e
+}
+
+// communityEqual asserts b holds exactly a's community: users, profiles,
+// purchase sets, index sizing, and per-strategy recommendations.
+func communityEqual(t *testing.T, a, b *Engine) {
+	t.Helper()
+	usersA, usersB := a.Users(), b.Users()
+	if !reflect.DeepEqual(usersA, usersB) {
+		t.Fatalf("user sets differ: %d vs %d users", len(usersA), len(usersB))
+	}
+	stA, stB := a.Stats(), b.Stats()
+	if stA.Users != stB.Users || stA.IndexedCategories != stB.IndexedCategories || stA.Postings != stB.Postings {
+		t.Fatalf("stats differ: %+v vs %+v", stA, stB)
+	}
+	snapA, snapB := a.Snapshot(), b.Snapshot()
+	for _, user := range usersA {
+		pa, pb := snapA.Profile(user), snapB.Profile(user)
+		if pa == nil || pb == nil {
+			t.Fatalf("profile for %s missing (a=%v b=%v)", user, pa != nil, pb != nil)
+		}
+		if !reflect.DeepEqual(pa.Vector(), pb.Vector()) {
+			t.Fatalf("profile vectors for %s differ", user)
+		}
+		if !reflect.DeepEqual(snapA.Purchases(user), snapB.Purchases(user)) {
+			t.Fatalf("purchase sets for %s differ", user)
+		}
+	}
+	for _, strat := range []Strategy{StrategyCF, StrategyHybrid, StrategyTopSeller} {
+		for _, user := range usersA {
+			ra, errA := a.Recommend(strat, user, "", 10)
+			rb, errB := b.Recommend(strat, user, "", 10)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("%v for %s: errors differ: %v vs %v", strat, user, errA, errB)
+			}
+			if !recsEquivalent(rb, ra) {
+				t.Fatalf("%v recommendations for %s differ:\n  a=%v\n  b=%v", strat, user, ra, rb)
+			}
+		}
+	}
+}
+
+func TestPersistentRestartIdenticalRecommendations(t *testing.T) {
+	u, profiles := soakUniverse(t)
+	dir := t.TempDir()
+
+	e1 := loadEngineErr(t, u, profiles, WithPersistence(dir), WithNeighbors(8))
+	mem := loadEngine(u, profiles, WithNeighbors(8))
+	// Write-through must not change answers while the engine is live.
+	communityEqual(t, mem, e1)
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := Open(u.Catalog, WithPersistence(dir), WithNeighbors(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	// The reopened engine is the same community: identical users,
+	// profiles, purchases, postings, and recommendations.
+	communityEqual(t, mem, e2)
+}
+
+func TestPersistentEngineOperationsAfterRecovery(t *testing.T) {
+	u, profiles := soakUniverse(t)
+	dir := t.TempDir()
+	e1 := loadEngineErr(t, u, profiles, WithPersistence(dir))
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The recovered engine keeps accepting writes, and a third generation
+	// sees them.
+	e2, err := Open(u.Catalog, WithPersistence(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newcomer := profile.NewProfile("newcomer")
+	prod := u.Catalog.All()[0]
+	if err := newcomer.Observe(prod.Evidence(profile.BehaviourBuy)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.SetProfile(newcomer); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.RecordPurchase("newcomer", prod.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e3, err := Open(u.Catalog, WithPersistence(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e3.Close()
+	p, err := e3.Profile("newcomer")
+	if err != nil {
+		t.Fatalf("newcomer lost across second restart: %v", err)
+	}
+	if p.Observed != 1 {
+		t.Errorf("newcomer.Observed = %d, want 1", p.Observed)
+	}
+	if !e3.Snapshot().Purchases("newcomer")[prod.ID] {
+		t.Error("newcomer's purchase lost across second restart")
+	}
+}
+
+func TestCrashMidBatchRecoversPrefix(t *testing.T) {
+	u, profiles := soakUniverse(t)
+	dir := t.TempDir()
+	e1 := loadEngineErr(t, u, profiles, WithPersistence(dir))
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wal := filepath.Join(dir, CommunityWAL)
+	fi, err := os.Stat(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intact := fi.Size()
+
+	// One more SetProfile = exactly one WAL record; chop into its middle
+	// to simulate a crash mid-append.
+	e2, err := Open(u.Catalog, WithPersistence(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	late := profile.NewProfile("late-writer")
+	if err := late.Observe(u.Catalog.All()[0].Evidence(profile.BehaviourBuy)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.SetProfile(late); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fi2, err := os.Stat(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi2.Size() <= intact {
+		t.Fatalf("SetProfile appended nothing: %d -> %d", intact, fi2.Size())
+	}
+	if err := os.Truncate(wal, intact+(fi2.Size()-intact)/2); err != nil {
+		t.Fatal(err)
+	}
+
+	e3, err := Open(u.Catalog, WithPersistence(dir))
+	if err != nil {
+		t.Fatalf("Open after torn tail: %v", err)
+	}
+	defer e3.Close()
+	if _, err := e3.Profile("late-writer"); !errors.Is(err, ErrUnknownUser) {
+		t.Errorf("torn write visible after recovery: %v", err)
+	}
+	// The prefix — the full seeded community — must be intact.
+	if got, want := len(e3.Users()), len(profiles); got != want {
+		t.Errorf("recovered %d users, want %d", got, want)
+	}
+	mem := loadEngine(u, profiles)
+	communityEqual(t, mem, e3)
+}
+
+func TestSpilledShardsAnswerIdentically(t *testing.T) {
+	u, profiles := soakUniverse(t)
+	dir := t.TempDir()
+	const shards = 8
+	mem := loadEngine(u, profiles, WithNeighbors(8), WithShards(shards))
+
+	e := loadEngineErr(t, u, profiles,
+		WithPersistence(dir), WithNeighbors(8), WithShards(shards), WithMaxResidentShards(2))
+	defer e.Close()
+	if st := e.Stats(); st.ResidentShards > 2 {
+		t.Fatalf("ResidentShards = %d, want <= 2", st.ResidentShards)
+	}
+	// Every read faults shards in transparently and answers exactly like
+	// the fully resident engine; eviction keeps the cap between requests.
+	communityEqual(t, mem, e)
+	if err := e.Err(); err != nil {
+		t.Fatalf("sticky persistence error: %v", err)
+	}
+
+	// Restart with the cap still in place: warm restart + spilling compose.
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Open(u.Catalog,
+		WithPersistence(dir), WithNeighbors(8), WithShards(shards), WithMaxResidentShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if st := e2.Stats(); st.ResidentShards > 2 {
+		t.Fatalf("after restart ResidentShards = %d, want <= 2", st.ResidentShards)
+	}
+	communityEqual(t, mem, e2)
+	if err := e2.Err(); err != nil {
+		t.Fatalf("sticky persistence error after restart: %v", err)
+	}
+}
+
+func TestSpillEvictsToPersister(t *testing.T) {
+	u, profiles := soakUniverse(t)
+	e := loadEngineErr(t, u, profiles,
+		WithPersistence(t.TempDir()), WithShards(8), WithMaxResidentShards(2))
+	defer e.Close()
+
+	// Touch every user: each access may fault a shard in and evict
+	// another, but profile reads always see the durable state.
+	for _, p := range profiles {
+		got, err := e.Profile(p.UserID)
+		if err != nil {
+			t.Fatalf("Profile(%s) after spill churn: %v", p.UserID, err)
+		}
+		if !reflect.DeepEqual(got.Vector(), p.Vector()) {
+			t.Fatalf("faulted-in profile for %s differs", p.UserID)
+		}
+		if st := e.Stats(); st.ResidentShards > 2 {
+			t.Fatalf("ResidentShards = %d, want <= 2", st.ResidentShards)
+		}
+	}
+	// Writes to spilled shards fault in and stay durable.
+	for _, p := range profiles[:20] {
+		if err := e.RecordPurchase(p.UserID, u.Catalog.All()[0].ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range profiles[:20] {
+		if !e.Snapshot().Purchases(p.UserID)[u.Catalog.All()[0].ID] {
+			t.Fatalf("purchase for %s lost after spill churn", p.UserID)
+		}
+	}
+}
+
+func TestSetProfilesEquivalence(t *testing.T) {
+	u, profiles := soakUniverse(t)
+
+	one := NewEngine(u.Catalog, WithNeighbors(8))
+	for _, p := range profiles {
+		if err := one.SetProfile(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bulk := NewEngine(u.Catalog, WithNeighbors(8))
+	if err := bulk.SetProfiles(profiles); err != nil {
+		t.Fatal(err)
+	}
+	for user, pids := range u.Purchases() {
+		for _, pid := range pids {
+			one.RecordPurchase(user, pid)
+			bulk.RecordPurchase(user, pid)
+		}
+	}
+	communityEqual(t, one, bulk)
+}
+
+func TestSetProfilesLaterDuplicateWins(t *testing.T) {
+	u, _ := soakUniverse(t)
+	prods := u.Catalog.All()
+
+	older := profile.NewProfile("dup")
+	if err := older.Observe(prods[0].Evidence(profile.BehaviourBuy)); err != nil {
+		t.Fatal(err)
+	}
+	newer := profile.NewProfile("dup")
+	if err := newer.Observe(prods[1].Evidence(profile.BehaviourBuy)); err != nil {
+		t.Fatal(err)
+	}
+
+	e := NewEngine(u.Catalog)
+	if err := e.SetProfiles([]*profile.Profile{older, newer}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Profile("dup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Vector(), newer.Vector()) {
+		t.Error("SetProfiles kept the earlier duplicate")
+	}
+	// The index must hold exactly the later profile's categories: stale
+	// postings from the earlier duplicate would leak ghost candidates.
+	seq := NewEngine(u.Catalog)
+	seq.SetProfile(older)
+	seq.SetProfile(newer)
+	a, b := e.Stats(), seq.Stats()
+	if a.Postings != b.Postings || a.IndexedCategories != b.IndexedCategories {
+		t.Errorf("batch index (%d cats, %d postings) != sequential (%d cats, %d postings)",
+			a.IndexedCategories, a.Postings, b.IndexedCategories, b.Postings)
+	}
+}
+
+func TestSetProfilesReplacementDropsStalePostings(t *testing.T) {
+	u, profiles := soakUniverse(t)
+	e := NewEngine(u.Catalog)
+	if err := e.SetProfiles(profiles); err != nil {
+		t.Fatal(err)
+	}
+	before := e.Stats()
+
+	// Replace every profile with a fresh single-category one via the bulk
+	// path: all the old multi-category postings must disappear.
+	prod := u.Catalog.All()[0]
+	replacement := make([]*profile.Profile, len(profiles))
+	for i, p := range profiles {
+		np := profile.NewProfile(p.UserID)
+		if err := np.Observe(prod.Evidence(profile.BehaviourBuy)); err != nil {
+			t.Fatal(err)
+		}
+		replacement[i] = np
+	}
+	if err := e.SetProfiles(replacement); err != nil {
+		t.Fatal(err)
+	}
+	after := e.Stats()
+	if after.Users != before.Users {
+		t.Errorf("users changed: %d -> %d", before.Users, after.Users)
+	}
+	if after.IndexedCategories != 1 || after.Postings != len(profiles) {
+		t.Errorf("stale postings leaked: %d categories, %d postings (want 1, %d)",
+			after.IndexedCategories, after.Postings, len(profiles))
+	}
+}
+
+func TestOpenErrorPaths(t *testing.T) {
+	// A state dir path that is an existing file must fail cleanly.
+	f := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	u, _ := soakUniverse(t)
+	if _, err := Open(u.Catalog, WithPersistence(f)); err == nil {
+		t.Error("Open with file-as-dir succeeded")
+	}
+	// NewEngine must refuse (loudly) rather than silently drop durability.
+	defer func() {
+		if recover() == nil {
+			t.Error("NewEngine with failing persistence did not panic")
+		}
+	}()
+	NewEngine(u.Catalog, WithPersistence(f))
+}
+
+func TestCompactState(t *testing.T) {
+	u, profiles := soakUniverse(t)
+	if err := NewEngine(u.Catalog).CompactState(); !errors.Is(err, ErrNoPersistence) {
+		t.Errorf("CompactState on memory engine = %v, want ErrNoPersistence", err)
+	}
+
+	dir := t.TempDir()
+	e := loadEngineErr(t, u, profiles, WithPersistence(dir))
+	// Overwrite every profile a few times to bloat the journal.
+	for i := 0; i < 3; i++ {
+		if err := e.SetProfiles(profiles); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wal := filepath.Join(dir, CommunityWAL)
+	before, err := os.Stat(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CompactState(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size() {
+		t.Errorf("CompactState did not shrink journal: %d -> %d", before.Size(), after.Size())
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := Open(u.Catalog, WithPersistence(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	communityEqual(t, loadEngine(u, profiles), e2)
+}
+
+// TestPersistentConcurrentSoak is the -race soak for the durable path:
+// concurrent writers (SetProfile, RecordPurchase, bulk SetProfiles) and
+// readers (Recommend, Profile, Users, Snapshot) churn a spilling engine,
+// then a restart must recover a community identical to a serial replay.
+func TestPersistentConcurrentSoak(t *testing.T) {
+	u, profiles := soakUniverse(t)
+	dir := t.TempDir()
+	e, err := Open(u.Catalog,
+		WithPersistence(dir), WithNeighbors(8), WithShards(8), WithMaxResidentShards(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetProfiles(profiles); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		goroutines = 8
+		iterations = 120
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(g), 99))
+			for i := 0; i < iterations; i++ {
+				usr := u.Users[rng.IntN(len(u.Users))]
+				switch i % 6 {
+				case 0:
+					if err := e.SetProfile(profiles[rng.IntN(len(profiles))]); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					if err := e.RecordPurchase(usr.ID, usr.Held[rng.IntN(len(usr.Held))]); err != nil {
+						t.Error(err)
+						return
+					}
+				case 2:
+					if _, err := e.Recommend(StrategyCF, usr.ID, "", 5); err != nil && !errors.Is(err, ErrUnknownUser) {
+						t.Error(err)
+						return
+					}
+				case 3:
+					if _, err := e.Profile(usr.ID); err != nil && !errors.Is(err, ErrUnknownUser) {
+						t.Error(err)
+						return
+					}
+				case 4:
+					snap := e.Snapshot()
+					_ = snap.Purchases(usr.ID)
+				case 5:
+					lo := rng.IntN(len(profiles) - 4)
+					if err := e.SetProfiles(profiles[lo : lo+4]); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := e.Err(); err != nil {
+		t.Fatalf("sticky persistence error after soak: %v", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every profile write wrote one of the same immutable profiles, so the
+	// recovered community must match a serial install exactly; purchases
+	// are a subset of Held per user, all durable.
+	e2, err := Open(u.Catalog, WithPersistence(dir), WithNeighbors(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if got, want := len(e2.Users()), len(profiles); got != want {
+		t.Fatalf("recovered %d users, want %d", got, want)
+	}
+	st := e2.Stats()
+	mem := loadEngine(u, profiles, WithNeighbors(8))
+	if mst := mem.Stats(); st.Postings != mst.Postings || st.IndexedCategories != mst.IndexedCategories {
+		t.Errorf("recovered index %+v, want %+v", st, mst)
+	}
+	snap := e2.Snapshot()
+	for _, usr := range u.Users {
+		held := make(map[string]bool, len(usr.Held))
+		for _, pid := range usr.Held {
+			held[pid] = true
+		}
+		for pid := range snap.Purchases(usr.ID) {
+			if !held[pid] {
+				t.Fatalf("user %s recovered purchase %s they never made", usr.ID, pid)
+			}
+		}
+	}
+}
+
+// TestPersisterInterfaceInjectable pins the Persister seam: a failing
+// injected implementation surfaces errors instead of corrupting state.
+func TestPersisterInterfaceInjectable(t *testing.T) {
+	u, _ := soakUniverse(t)
+	e, err := Open(u.Catalog, WithPersister(failingPersister{}))
+	if err == nil || err.Error() == "" {
+		t.Fatalf("Open with failing persister = %v, want recovery error", err)
+	}
+	_ = e
+}
+
+type failingPersister struct{}
+
+var errInjected = errors.New("injected persister failure")
+
+func (failingPersister) SaveProfiles(int, []*profile.Profile) error { return errInjected }
+func (failingPersister) SavePurchase(int, string, string, int, int64) error {
+	return errInjected
+}
+func (failingPersister) LoadShard(int) (ShardData, error)        { return ShardData{}, errInjected }
+func (failingPersister) LoadSells(int) (map[string]int64, error) { return nil, errInjected }
+func (failingPersister) ShardUsers(int) ([]string, error)        { return nil, errInjected }
+func (failingPersister) Compact() error                          { return nil }
+func (failingPersister) Close() error                            { return nil }
+
+var _ = fmt.Sprintf // keep fmt imported for debugging edits

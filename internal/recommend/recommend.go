@@ -41,6 +41,8 @@ import (
 	"fmt"
 	"iter"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"agentrec/internal/catalog"
 	"agentrec/internal/profile"
@@ -137,7 +139,10 @@ func WithShards(n int) Option {
 // Engine holds the consumer community's profiles and transaction history
 // and answers recommendation requests. Safe for concurrent use: state is
 // partitioned into user-keyed shards and reads run against immutable
-// snapshots (see Snapshot).
+// snapshots (see Snapshot). With WithPersistence (construct via Open) every
+// mutation is write-through journaled to a WAL-backed store, the community
+// is recovered on construction, and cold shards can spill out of memory
+// (WithMaxResidentShards) with transparent fault-in; see persist.go.
 type Engine struct {
 	catalog   *catalog.Catalog
 	k         int
@@ -151,10 +156,31 @@ type Engine struct {
 	index  *categoryIndex // per-category candidate posting lists
 
 	ext *history // timestamped purchases for Trending/TiedSales
+
+	// Durability (nil/zero for a memory-only engine; see persist.go).
+	persist     Persister
+	stateDir    string
+	maxResident int
+	clock       atomic.Uint64 // logical LRU clock for shard spilling
+	resMu       sync.Mutex    // guards residentN and stickyErr
+	residentN   int
+	stickyErr   error
 }
 
-// NewEngine returns an engine over cat.
+// NewEngine returns an engine over cat. Persistence options are rejected
+// here because recovery can fail: build durable engines with Open.
 func NewEngine(cat *catalog.Catalog, opts ...Option) *Engine {
+	e, err := Open(cat, opts...)
+	if err != nil {
+		panic(fmt.Sprintf("recommend: NewEngine with persistence options: %v (use Open)", err))
+	}
+	return e
+}
+
+// Open is NewEngine with error reporting: required for engines built with
+// WithPersistence / WithPersister, whose recovery replay can fail. The
+// caller should Close a persistent engine when done with it.
+func Open(cat *catalog.Catalog, opts ...Option) (*Engine, error) {
 	e := &Engine{
 		catalog:   cat,
 		k:         10,
@@ -169,12 +195,25 @@ func NewEngine(cat *catalog.Catalog, opts ...Option) *Engine {
 	e.shards = make([]*shard, e.nshards)
 	e.sells = make([]*sellShard, e.nshards)
 	for i := 0; i < e.nshards; i++ {
-		e.shards[i] = newShard()
-		e.sells[i] = newSellShard()
+		e.shards[i] = newShard(i)
+		e.sells[i] = newSellShard(i)
 	}
 	e.index = newCategoryIndex(e.nshards)
 	e.ext = newHistory(e.nshards)
-	return e
+	if e.persist == nil && e.stateDir != "" {
+		p, err := OpenPersister(e.stateDir)
+		if err != nil {
+			return nil, err
+		}
+		e.persist = p
+	}
+	if e.persist != nil {
+		if err := e.recover(); err != nil {
+			e.persist.Close()
+			return nil, err
+		}
+	}
+	return e, nil
 }
 
 func (e *Engine) shardFor(userID string) *shard {
@@ -191,11 +230,22 @@ func (e *Engine) sellFor(productID string) *sellShard {
 // shard critical section, so index updates for one consumer are totally
 // ordered by the shard lock and always match the shard's final state.
 // (Lock order is shard -> index bucket; no path acquires them in reverse.)
-func (e *Engine) SetProfile(p *profile.Profile) {
+//
+// With persistence the profile is journaled (durably) before the in-memory
+// install; the error is always nil for memory-only engines.
+func (e *Engine) SetProfile(p *profile.Profile) error {
 	clone := p.Clone()
 	sum := clone.Summary()
 	sh := e.shardFor(p.UserID)
-	sh.mu.Lock()
+	if err := e.lockResidentW(sh); err != nil {
+		return err
+	}
+	if e.persist != nil {
+		if err := e.persist.SaveProfiles(sh.id, []*profile.Profile{clone}); err != nil {
+			sh.mu.Unlock()
+			return err
+		}
+	}
 	var prev *profile.Summary
 	if old := sh.profiles[p.UserID]; old != nil {
 		prev = old.sum
@@ -204,26 +254,116 @@ func (e *Engine) SetProfile(p *profile.Profile) {
 	sh.gen.Add(1)
 	e.index.update(prev, sum)
 	sh.mu.Unlock()
+	e.maybeEvict(sh)
+	return nil
 }
 
-// Profile returns a copy of the stored profile for userID.
+// SetProfiles bulk-installs profiles: one shard lock acquisition, one
+// durable batch, and one index pass per touched shard, instead of one each
+// per profile. Equivalent to calling SetProfile for each element in order
+// (later duplicates win). This is the SeedCommunity path: installing a
+// warm community one profile at a time pays nshards times the locking and
+// journaling it needs to.
+func (e *Engine) SetProfiles(ps []*profile.Profile) error {
+	byShard := make([][]*profile.Profile, e.nshards)
+	for _, p := range ps {
+		i := int(fnv32a(p.UserID) % uint32(e.nshards))
+		byShard[i] = append(byShard[i], p.Clone())
+	}
+	for i, group := range byShard {
+		if len(group) == 0 {
+			continue
+		}
+		sh := e.shards[i]
+		if err := e.lockResidentW(sh); err != nil {
+			return err
+		}
+		if e.persist != nil {
+			if err := e.persist.SaveProfiles(sh.id, group); err != nil {
+				sh.mu.Unlock()
+				return err
+			}
+		}
+		changes := make([]postingChange, 0, len(group))
+		for _, clone := range group {
+			sum := clone.Summary()
+			var prev *profile.Summary
+			if old := sh.profiles[clone.UserID]; old != nil {
+				prev = old.sum
+			}
+			sh.profiles[clone.UserID] = &stored{prof: clone, sum: sum}
+			changes = append(changes, postingChange{prev: prev, sum: sum})
+		}
+		sh.gen.Add(1)
+		e.index.updateBatch(changes)
+		sh.mu.Unlock()
+		e.maybeEvict(sh)
+	}
+	return nil
+}
+
+// Profile returns a copy of the stored profile for userID, faulting the
+// consumer's shard in when it was spilled.
 func (e *Engine) Profile(userID string) (*profile.Profile, error) {
 	sh := e.shardFor(userID)
-	sh.mu.RLock()
-	st := sh.profiles[userID]
-	sh.mu.RUnlock()
-	if st == nil {
-		return nil, fmt.Errorf("%w: %s", ErrUnknownUser, userID)
+	for {
+		sh.mu.RLock()
+		if sh.resident.Load() {
+			st := sh.profiles[userID]
+			sh.mu.RUnlock()
+			e.touch(sh)
+			if st == nil {
+				return nil, fmt.Errorf("%w: %s", ErrUnknownUser, userID)
+			}
+			return st.prof.Clone(), nil
+		}
+		sh.mu.RUnlock()
+		if err := e.faultIn(sh); err != nil {
+			return nil, err
+		}
 	}
-	return st.prof.Clone(), nil
 }
 
 // RecordPurchase notes that userID bought productID, feeding both the CF
 // history and the top-seller counts. Duplicate records are idempotent per
-// user but still bump popularity.
-func (e *Engine) RecordPurchase(userID, productID string) {
+// user but still bump popularity. With persistence the purchase and the
+// product's new sell total are journaled as one atomic batch before the
+// in-memory update; the error is always nil for memory-only engines.
+func (e *Engine) RecordPurchase(userID, productID string) error {
 	sh := e.shardFor(userID)
-	sh.mu.Lock()
+	if err := e.lockResidentW(sh); err != nil {
+		return err
+	}
+	if e.persist == nil {
+		set := sh.purchases[userID]
+		if set == nil {
+			set = make(map[string]bool)
+			sh.purchases[userID] = set
+		}
+		set[productID] = true
+		sh.gen.Add(1)
+		sh.mu.Unlock()
+		e.sellFor(productID).bump(productID)
+		return nil
+	}
+	// Durable path: take the sell shard's write lock (lock order shard ->
+	// sellShard, never reversed) so the journaled totals are monotonic,
+	// journal purchase + total as one batch, then mutate memory.
+	ss := e.sellFor(productID)
+	ss.mu.Lock()
+	c := ss.counts[productID]
+	if c == nil {
+		c = new(atomic.Int64)
+		ss.counts[productID] = c
+	}
+	total := c.Load() + 1
+	if err := e.persist.SavePurchase(sh.id, userID, productID, ss.id, total); err != nil {
+		ss.mu.Unlock()
+		sh.mu.Unlock()
+		return err
+	}
+	c.Store(total)
+	ss.mu.Unlock()
 	set := sh.purchases[userID]
 	if set == nil {
 		set = make(map[string]bool)
@@ -232,19 +372,31 @@ func (e *Engine) RecordPurchase(userID, productID string) {
 	set[productID] = true
 	sh.gen.Add(1)
 	sh.mu.Unlock()
-	e.sellFor(productID).bump(productID)
+	e.maybeEvict(sh)
+	return nil
 }
 
-// Users returns the ids of all consumers with a profile, sorted. It reads
-// shard maps directly — no snapshot views are materialized.
+// Users returns the ids of all consumers with a profile, sorted. Resident
+// shards are read directly; spilled shards are answered from the
+// Persister's key space without faulting them in.
 func (e *Engine) Users() []string {
 	var out []string
 	for _, sh := range e.shards {
 		sh.mu.RLock()
-		for id := range sh.profiles {
-			out = append(out, id)
+		if sh.resident.Load() {
+			for id := range sh.profiles {
+				out = append(out, id)
+			}
+			sh.mu.RUnlock()
+			continue
 		}
 		sh.mu.RUnlock()
+		ids, err := e.persist.ShardUsers(sh.id)
+		if err != nil {
+			e.setErr(err)
+			continue
+		}
+		out = append(out, ids...)
 	}
 	sort.Strings(out)
 	return out
@@ -253,19 +405,31 @@ func (e *Engine) Users() []string {
 // Stats reports engine sizing, for observability and tests.
 type Stats struct {
 	Shards            int
+	ResidentShards    int // < Shards when cold shards are spilled
 	Users             int
 	IndexedCategories int
 	Postings          int
 }
 
-// Stats returns the engine's current sizing. Like Users it reads shard
-// maps directly rather than materializing snapshot views.
+// Stats returns the engine's current sizing. Spilled shards are counted
+// through the Persister rather than faulted in.
 func (e *Engine) Stats() Stats {
 	st := Stats{Shards: e.nshards}
 	for _, sh := range e.shards {
 		sh.mu.RLock()
-		st.Users += len(sh.profiles)
+		if sh.resident.Load() {
+			st.Users += len(sh.profiles)
+			st.ResidentShards++
+			sh.mu.RUnlock()
+			continue
+		}
 		sh.mu.RUnlock()
+		ids, err := e.persist.ShardUsers(sh.id)
+		if err != nil {
+			e.setErr(err)
+			continue
+		}
+		st.Users += len(ids)
 	}
 	st.IndexedCategories, st.Postings = e.index.size()
 	return st
@@ -345,11 +509,24 @@ func (e *Engine) neighbors(snap *Snapshot, st *stored, cat string, tol float64) 
 // even though the snapshot still holds them. A candidate is never
 // mis-scored; on a quiet community the posting list matches the snapshot
 // exactly (TestIndexedNeighborsMatchFullScan).
+//
+// Under shard spilling a candidate may live in a shard the snapshot never
+// materialized (it was spilled when the snapshot was taken). Its posting
+// is then used as-is rather than faulting the shard in: a spilled shard
+// accepts no writes, so its postings are exactly its durable state — the
+// same values a fault-in would reload.
 func (e *Engine) indexCandidates(snap *Snapshot, cat string) iter.Seq[similarity.Candidate] {
 	inner := e.index.candidates(cat)
 	return func(yield func(similarity.Candidate) bool) {
 		for c := range inner {
-			st := snap.stored(c.UserID)
+			st, known := snap.peek(c.UserID)
+			if !known {
+				// Shard spilled at snapshot time: the posting is canonical.
+				if c.Ty > 0 && !yield(c) {
+					return
+				}
+				continue
+			}
 			if st == nil {
 				continue
 			}

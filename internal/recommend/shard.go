@@ -39,20 +39,33 @@ type stored struct {
 
 // shard is one partition of the community: the profiles and purchase
 // histories of the consumers that hash here.
+//
+// With persistence enabled a shard may be spilled: its maps dropped from
+// memory while its state lives on in the engine's Persister (and its
+// postings stay in the candidate index). resident is written under mu and
+// read atomically so the eviction scan never takes shard locks; lastAccess
+// is a logical LRU clock bumped on every access.
 type shard struct {
 	mu        sync.RWMutex
 	profiles  map[string]*stored
 	purchases map[string]map[string]bool // user -> product set
 
+	id         int         // position in Engine.shards, names persister buckets
+	resident   atomic.Bool // maps are in memory (always true without spilling)
+	lastAccess atomic.Uint64
+
 	gen  atomic.Uint64             // bumped under mu on every write
 	view atomic.Pointer[shardView] // cached immutable view; stale when gen moved
 }
 
-func newShard() *shard {
-	return &shard{
+func newShard(id int) *shard {
+	sh := &shard{
+		id:        id,
 		profiles:  make(map[string]*stored),
 		purchases: make(map[string]map[string]bool),
 	}
+	sh.resident.Store(true)
+	return sh
 }
 
 // shardView is an immutable snapshot of one shard. profiles entries are
@@ -66,12 +79,18 @@ type shardView struct {
 
 // snapshot returns the current immutable view, rebuilding it only when a
 // write happened since the last build. The fast path is two atomic loads.
+// A spilled shard has no materializable view: snapshot returns nil and the
+// caller must fault the shard in first (eviction bumps gen, so a stale
+// cached view can never satisfy the fast path).
 func (sh *shard) snapshot() *shardView {
 	if v := sh.view.Load(); v != nil && v.gen == sh.gen.Load() {
 		return v
 	}
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
+	if !sh.resident.Load() {
+		return nil
+	}
 	if v := sh.view.Load(); v != nil && v.gen == sh.gen.Load() {
 		return v
 	}
@@ -101,10 +120,11 @@ func (sh *shard) snapshot() *shardView {
 type sellShard struct {
 	mu     sync.RWMutex
 	counts map[string]*atomic.Int64
+	id     int // position in Engine.sells, names the persister bucket
 }
 
-func newSellShard() *sellShard {
-	return &sellShard{counts: make(map[string]*atomic.Int64)}
+func newSellShard(id int) *sellShard {
+	return &sellShard{counts: make(map[string]*atomic.Int64), id: id}
 }
 
 func (ss *sellShard) bump(productID string) {
