@@ -103,6 +103,22 @@ func WithEngineShards(n int) Option {
 	return func(c *platform.Config) { c.EngineShards = n }
 }
 
+// WithBuyerServers boots n Buyer Agent Servers (default 1) — the paper's
+// multi-server deployment of Fig 3.1. Combine with WithReplicatedEngines
+// so each server answers recommendations from its own replica of the
+// community instead of sharing one in-process engine.
+func WithBuyerServers(n int) Option {
+	return func(c *platform.Config) { c.BuyerServers = n }
+}
+
+// WithReplicatedEngines gives every Buyer Agent Server its own
+// recommendation engine, with per-shard ownership, owner-routed writes,
+// and journal-tail replication keeping the replicas converged. See
+// DESIGN.md "Replication".
+func WithReplicatedEngines() Option {
+	return func(c *platform.Config) { c.ReplicateEngines = true }
+}
+
 // WithStateDir makes the platform durable under dir (created if absent):
 // the recommendation engine write-through journals every consumer profile,
 // purchase, and sell count to a WAL-backed store and recovers the whole

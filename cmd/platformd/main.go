@@ -8,7 +8,14 @@
 //
 //	platformd -markets=2 -http=127.0.0.1:8080
 //
-// then, from another terminal:
+// Several platformd processes form a replicated deployment with
+// -buyer-peers: the ordered list of every buyer server's ATP address.
+// Shard s of the consumer community is owned by the s%N-th listed server;
+// writes are forwarded to owners and every server tails the others'
+// journals, so each answers recommendations from local state (see
+// DESIGN.md "Replication" and the README's flag reference).
+//
+// Then, from another terminal:
 //
 //	curl -XPOST localhost:8080/users  -d '{"user_id":"alice"}'
 //	curl -XPOST localhost:8080/login  -d '{"user_id":"alice"}'
@@ -28,6 +35,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -38,30 +46,67 @@ import (
 	"agentrec/internal/coordinator"
 	"agentrec/internal/marketplace"
 	"agentrec/internal/recommend"
+	"agentrec/internal/replnet"
 	"agentrec/internal/security"
 	"agentrec/internal/trace"
 )
 
+// replConfig is the multi-buyer-server replication setup parsed from
+// -buyer-peers: the ordered list of every buyer server's ATP address
+// (ownership map: shard s is owned by servers[s % len(servers)]) and this
+// process's index in it.
+type replConfig struct {
+	servers  []string
+	self     int
+	shards   int
+	interval time.Duration
+}
+
 func main() {
 	var (
-		markets   = flag.Int("markets", 2, "number of marketplace servers")
-		coordAddr = flag.String("coord", "127.0.0.1:7001", "coordinator ATP address")
-		marketIP  = flag.String("market-ip", "127.0.0.1", "marketplace bind IP")
-		basePort  = flag.Int("market-base-port", 7101, "first marketplace ATP port")
-		buyerAddr = flag.String("buyer", "127.0.0.1:7201", "buyer agent server ATP address")
-		httpAddr  = flag.String("http", "127.0.0.1:8080", "consumer web interface address")
-		key       = flag.String("key", "agentrec-demo-platform-key", "shared HMAC platform key")
-		stateDir  = flag.String("state-dir", "", "durable state directory (empty = memory-only)")
-		verbose   = flag.Bool("trace", false, "print every workflow step")
+		markets    = flag.Int("markets", 2, "number of marketplace servers")
+		coordAddr  = flag.String("coord", "127.0.0.1:7001", "coordinator ATP address")
+		marketIP   = flag.String("market-ip", "127.0.0.1", "marketplace bind IP")
+		basePort   = flag.Int("market-base-port", 7101, "first marketplace ATP port")
+		buyerAddr  = flag.String("buyer", "127.0.0.1:7201", "buyer agent server ATP address")
+		buyerPeers = flag.String("buyer-peers", "", "ordered ATP addresses of ALL buyer servers (including -buyer) for shard replication; empty = standalone")
+		shards     = flag.Int("engine-shards", recommend.DefaultShards, "engine shard count (every buyer server must agree)")
+		replPull   = flag.Duration("repl-interval", 200*time.Millisecond, "journal tail interval for shard replication")
+		httpAddr   = flag.String("http", "127.0.0.1:8080", "consumer web interface address")
+		key        = flag.String("key", "agentrec-demo-platform-key", "shared HMAC platform key")
+		stateDir   = flag.String("state-dir", "", "durable state directory (empty = memory-only)")
+		verbose    = flag.Bool("trace", false, "print every workflow step")
 	)
 	flag.Parse()
 
-	if err := run(*markets, *coordAddr, *marketIP, *basePort, *buyerAddr, *httpAddr, *key, *stateDir, *verbose); err != nil {
+	var repl *replConfig
+	if *buyerPeers != "" {
+		var servers []string
+		self := -1
+		for _, addr := range strings.Split(*buyerPeers, ",") {
+			addr = strings.TrimSpace(addr)
+			if addr == "" {
+				// An empty entry would silently skew the positional
+				// ownership map (shard % N) on this server only.
+				log.Fatalf("-buyer-peers %q contains an empty address", *buyerPeers)
+			}
+			if addr == *buyerAddr {
+				self = len(servers)
+			}
+			servers = append(servers, addr)
+		}
+		if self < 0 {
+			log.Fatalf("-buyer-peers %q does not contain -buyer %s", *buyerPeers, *buyerAddr)
+		}
+		repl = &replConfig{servers: servers, self: self, shards: *shards, interval: *replPull}
+	}
+
+	if err := run(*markets, *coordAddr, *marketIP, *basePort, *buyerAddr, *httpAddr, *key, *stateDir, *shards, repl, *verbose); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(markets int, coordAddr, marketIP string, basePort int, buyerAddr, httpAddr, key, stateDir string, verbose bool) error {
+func run(markets int, coordAddr, marketIP string, basePort int, buyerAddr, httpAddr, key, stateDir string, shards int, repl *replConfig, verbose bool) error {
 	signer := security.NewSigner([]byte(key))
 	client := atp.NewClient(signer)
 	tracer := trace.New()
@@ -76,20 +121,20 @@ func run(markets int, coordAddr, marketIP string, basePort int, buyerAddr, httpA
 			hosts[i].Close()
 		}
 	}()
-	up := func(addr string, reg *aglet.Registry) (*aglet.Host, error) {
+	up := func(addr string, reg *aglet.Registry) (*aglet.Host, *atp.Server, error) {
 		host := aglet.NewHost(addr, reg, aglet.WithTransport(client))
 		srv, err := atp.Serve(host, signer, addr)
 		if err != nil {
-			return nil, fmt.Errorf("platformd: serving %s: %w", addr, err)
+			return nil, nil, fmt.Errorf("platformd: serving %s: %w", addr, err)
 		}
 		hosts = append(hosts, host)
 		servers = append(servers, srv)
-		return host, nil
+		return host, srv, nil
 	}
 
 	// Coordinator.
 	coordReg := aglet.NewRegistry()
-	coordHost, err := up(coordAddr, coordReg)
+	coordHost, _, err := up(coordAddr, coordReg)
 	if err != nil {
 		return err
 	}
@@ -106,7 +151,7 @@ func run(markets int, coordAddr, marketIP string, basePort int, buyerAddr, httpA
 		addr := fmt.Sprintf("%s:%d", marketIP, basePort+i)
 		reg := aglet.NewRegistry()
 		buyerserver.RegisterMBAType(reg)
-		host, err := up(addr, reg)
+		host, _, err := up(addr, reg)
 		if err != nil {
 			return err
 		}
@@ -133,14 +178,17 @@ func run(markets int, coordAddr, marketIP string, basePort int, buyerAddr, httpA
 
 	// Buyer agent server, admitted through the Fig 4.1 workflow over TCP.
 	buyerReg := aglet.NewRegistry()
-	buyerHost, err := up(buyerAddr, buyerReg)
+	buyerHost, buyerSrv, err := up(buyerAddr, buyerReg)
 	if err != nil {
 		return err
 	}
-	engineOpts := []recommend.Option{recommend.WithNeighbors(10)}
+	engineOpts := []recommend.Option{recommend.WithNeighbors(10), recommend.WithShards(shards)}
 	buyerOpts := []buyerserver.Option{
 		buyerserver.WithTracer(tracer),
 		buyerserver.WithMarkets(marketAddrs...),
+	}
+	if repl != nil {
+		engineOpts = append(engineOpts, recommend.WithJournalFeed(0))
 	}
 	if stateDir != "" {
 		engineOpts = append(engineOpts, recommend.WithPersistence(filepath.Join(stateDir, "engine")))
@@ -154,6 +202,33 @@ func run(markets int, coordAddr, marketIP string, basePort int, buyerAddr, httpA
 	if stateDir != "" {
 		st := engine.Stats()
 		log.Printf("recovered community from %s: %d consumers, %d indexed categories", stateDir, st.Users, st.IndexedCategories)
+	}
+	if repl != nil {
+		// Serve our shards' journal to peer buyer servers, route writes to
+		// shard owners, and tail the shards we do not own.
+		buyerSrv.SetJournalHandler(replnet.Handler(engine, repl.self, len(repl.servers)))
+		writers := make([]recommend.Writer, len(repl.servers))
+		peers := make([]recommend.Peer, len(repl.servers))
+		for i, addr := range repl.servers {
+			if i == repl.self {
+				continue
+			}
+			writers[i] = replnet.NewWriter(client, addr)
+			peers[i] = replnet.NewPeer(client, addr)
+		}
+		router, err := recommend.NewRouter(engine, repl.self, writers)
+		if err != nil {
+			return err
+		}
+		buyerOpts = append(buyerOpts, buyerserver.WithCommunityWriter(router))
+		replicator, err := recommend.NewReplicator(engine, repl.self, peers, recommend.WithPullInterval(repl.interval))
+		if err != nil {
+			return err
+		}
+		replicator.Start()
+		defer replicator.Close()
+		log.Printf("replicating %d shards across %d buyer servers (self=%d, tail every %v)",
+			shards, len(repl.servers), repl.self, repl.interval)
 	}
 	caProxy := buyerHost.RemoteProxy(coordAddr, coordinator.CAID)
 	buyer, err := buyerserver.New(buyerHost, buyerReg, engine, caProxy, buyerOpts...)

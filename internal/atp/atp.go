@@ -44,6 +44,7 @@ const (
 	opCall     = "call"
 	opRetract  = "retract"
 	opPing     = "ping"
+	opJournal  = "journal"
 )
 
 type request struct {
@@ -108,6 +109,12 @@ func readFrame(r io.Reader, v any) error {
 	return nil
 }
 
+// JournalHandler serves engine journal-stream frames: kind names the
+// sub-operation (e.g. "tail", "set-profiles", "purchase" — see
+// internal/replnet) and data/reply are opaque JSON payloads, keeping the
+// transport decoupled from the recommendation engine's types.
+type JournalHandler func(kind string, data []byte) ([]byte, error)
+
 // Server accepts ATP connections for one aglet host. Construct with Serve;
 // Close stops accepting and waits for in-flight connections.
 type Server struct {
@@ -115,9 +122,10 @@ type Server struct {
 	signer   *security.Signer
 	listener net.Listener
 
-	mu     sync.Mutex
-	closed bool
-	wg     sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+	journal JournalHandler
+	wg      sync.WaitGroup
 }
 
 // Serve starts an ATP server for host on addr (e.g. "127.0.0.1:0"). The
@@ -135,6 +143,21 @@ func Serve(host *aglet.Host, signer *security.Signer, addr string) (*Server, err
 
 // Addr returns the server's bound address, the string peers dial.
 func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// SetJournalHandler installs (or replaces) the handler for journal frames.
+// Without one the server rejects them — hosts that do not replicate an
+// engine expose no journal surface.
+func (s *Server) SetJournalHandler(h JournalHandler) {
+	s.mu.Lock()
+	s.journal = h
+	s.mu.Unlock()
+}
+
+func (s *Server) journalHandler() JournalHandler {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.journal
+}
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
@@ -204,6 +227,18 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 		writeFrame(conn, response{OK: true, Kind: reply.Kind, Data: reply.Data})
+	case opJournal:
+		h := s.journalHandler()
+		if h == nil {
+			writeFrame(conn, response{Error: "no journal handler"})
+			return
+		}
+		out, err := h(req.Kind, req.Data)
+		if err != nil {
+			writeFrame(conn, response{Error: err.Error()})
+			return
+		}
+		writeFrame(conn, response{OK: true, Kind: req.Kind, Data: out})
 	default:
 		writeFrame(conn, response{Error: "unknown op"})
 	}
@@ -233,6 +268,7 @@ type Client struct {
 	statsMu    sync.Mutex
 	dispatches int
 	calls      int
+	journals   int
 	bytesSent  int64
 }
 
@@ -280,6 +316,9 @@ func (c *Client) roundTrip(ctx context.Context, dest string, req request) (respo
 	case opCall:
 		c.calls++
 		c.bytesSent += int64(len(req.Data) + len(resp.Data))
+	case opJournal:
+		c.journals++
+		c.bytesSent += int64(len(req.Data) + len(resp.Data))
 	}
 	c.statsMu.Unlock()
 	return resp, nil
@@ -316,6 +355,18 @@ func (c *Client) Retract(ctx context.Context, dest, agentID string) (aglet.Image
 func (c *Client) Ping(ctx context.Context, dest string) error {
 	_, err := c.roundTrip(ctx, dest, request{Op: opPing})
 	return err
+}
+
+// Journal exchanges one engine journal-stream frame with dest: kind names
+// the sub-operation and data carries its payload, both opaque to the
+// transport. The reply payload is returned. Dest must have a
+// JournalHandler installed.
+func (c *Client) Journal(ctx context.Context, dest, kind string, data []byte) ([]byte, error) {
+	resp, err := c.roundTrip(ctx, dest, request{Op: opJournal, Kind: kind, Data: data})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Data, nil
 }
 
 // Stats reports dispatches, calls and payload bytes sent since construction.

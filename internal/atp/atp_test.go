@@ -307,3 +307,45 @@ func TestRetractMissingOverTCP(t *testing.T) {
 		t.Fatal("retract of missing agent succeeded")
 	}
 }
+
+// TestJournalFrame exercises the engine journal-stream op: a handler
+// echoes, the client round-trips kind and payload, and a host with no
+// handler rejects.
+func TestJournalFrame(t *testing.T) {
+	_, srv := startHost(t, "hj")
+	srv.SetJournalHandler(func(kind string, data []byte) ([]byte, error) {
+		if kind == "boom" {
+			return nil, errors.New("handler exploded")
+		}
+		return append([]byte(kind+":"), data...), nil
+	})
+
+	c := NewClient(key())
+	out, err := c.Journal(testCtx(t), srv.Addr(), "tail", []byte(`{"shard":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := string(out), `tail:{"shard":3}`; got != want {
+		t.Fatalf("journal reply = %q, want %q", got, want)
+	}
+	if _, err := c.Journal(testCtx(t), srv.Addr(), "boom", nil); err == nil || !strings.Contains(err.Error(), "handler exploded") {
+		t.Fatalf("handler error not surfaced: %v", err)
+	}
+
+	// A host without a journal handler rejects the frame.
+	_, bare := startHost(t, "hj2")
+	if _, err := c.Journal(testCtx(t), bare.Addr(), "tail", nil); err == nil || !strings.Contains(err.Error(), "no journal handler") {
+		t.Fatalf("bare host accepted journal frame: %v", err)
+	}
+}
+
+// TestJournalFrameSigned pins that journal frames are under the same HMAC
+// gate as agent traffic: a client with the wrong platform key is rejected.
+func TestJournalFrameSigned(t *testing.T) {
+	_, srv := startHost(t, "hjs")
+	srv.SetJournalHandler(func(string, []byte) ([]byte, error) { return nil, nil })
+	bad := NewClient(security.NewSigner([]byte("not-the-platform-key")))
+	if _, err := bad.Journal(testCtx(t), srv.Addr(), "tail", nil); err == nil || !strings.Contains(err.Error(), "signature rejected") {
+		t.Fatalf("wrong-key journal frame not rejected: %v", err)
+	}
+}

@@ -188,7 +188,7 @@ func (a *bsmaAgent) register(userID string) (aglet.Message, error) {
 	if err := s.storeProfile(p); err != nil {
 		return aglet.Message{}, err
 	}
-	if err := s.engine.SetProfile(p); err != nil {
+	if err := s.writes.SetProfile(p); err != nil {
 		return aglet.Message{}, err
 	}
 	return aglet.Message{Kind: kindOK}, nil
@@ -594,7 +594,7 @@ func (a *paAgent) HandleMessage(_ *aglet.Context, msg aglet.Message) (aglet.Mess
 			return aglet.Message{}, err
 		}
 		if ev.Sale != nil {
-			if err := s.engine.RecordPurchaseAt(batch.UserID, ev.Sale.ProductID, time.Now()); err != nil {
+			if err := s.writes.RecordPurchaseAt(batch.UserID, ev.Sale.ProductID, time.Now()); err != nil {
 				return aglet.Message{}, err
 			}
 			key := batch.UserID + "/" + ev.Sale.Receipt
@@ -609,7 +609,7 @@ func (a *paAgent) HandleMessage(_ *aglet.Context, msg aglet.Message) (aglet.Mess
 	if err := s.storeProfile(p); err != nil {
 		return aglet.Message{}, err
 	}
-	if err := s.engine.SetProfile(p); err != nil {
+	if err := s.writes.SetProfile(p); err != nil {
 		return aglet.Message{}, err
 	}
 	return aglet.Message{Kind: kindOK}, nil

@@ -96,6 +96,7 @@ type Server struct {
 	host       *aglet.Host
 	reg        *aglet.Registry
 	engine     *recommend.Engine
+	writes     recommend.Writer // community writes; the engine unless routed
 	userDB     *kvstore.Store
 	bsmDB      *kvstore.Store
 	tracer     *trace.Recorder
@@ -130,6 +131,15 @@ func WithMarkets(addrs ...string) Option {
 // size or the discard tolerance).
 func WithEngine(e *recommend.Engine) Option {
 	return func(s *Server) { s.engine = e }
+}
+
+// WithCommunityWriter routes community writes — profile installs and
+// purchase records — through w instead of the local engine. This is the
+// replication seam: in a multi-server deployment w is a recommend.Router
+// that forwards each write to the shard owner's server, while reads
+// (recommendations) keep answering from the local engine's replica.
+func WithCommunityWriter(w recommend.Writer) Option {
+	return func(s *Server) { s.writes = w }
 }
 
 // WithUserDB uses a pre-opened (possibly durable) UserDB store.
@@ -223,6 +233,9 @@ func New(host *aglet.Host, reg *aglet.Registry, engine *recommend.Engine, coordC
 	s.challenger = security.NewChallenger(s.signer)
 	if s.engine == nil {
 		return nil, errors.New("buyerserver: nil recommendation engine")
+	}
+	if s.writes == nil {
+		s.writes = s.engine
 	}
 
 	reg.Register(coordinator.BSMAType, func() aglet.Aglet { return &bsmaAgent{srv: s} })

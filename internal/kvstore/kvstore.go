@@ -11,6 +11,29 @@
 //
 // Values are opaque bytes; EncodeJSON/DecodeJSON helpers cover the common
 // case of structured records.
+//
+// # Guarantees and invariants
+//
+//   - Apply is all-or-nothing: a batch is appended to the WAL as one
+//     CRC-checked record and only then applied to memory, under the store
+//     lock. Readers never observe a partial batch.
+//   - WAL replay on Open keeps the longest intact prefix of acknowledged
+//     batches: a torn final record (crash mid-append) is detected by
+//     length/CRC and truncated away; an absurd length header from a
+//     garbage tail is capped (maxRecordLen) and treated the same way
+//     instead of allocating unbounded memory.
+//   - Batches larger than maxRecordLen are rejected up front — on
+//     memory-only stores too — so an accepted write can never poison a
+//     later Snapshot or durable reopen.
+//   - Scan returns entries sorted by key, and Snapshot serializes buckets
+//     and keys in sorted order: two stores holding the same live state
+//     produce byte-identical snapshots regardless of write history (the
+//     property the engine's replication tests pin).
+//   - Bucket names are free-form minus NUL; keys are non-empty. Callers
+//     own any further layout. The recommendation engine, the heaviest
+//     user, keys one bucket per community shard and kind (prof/<shard>,
+//     purch/<shard>, sell/<shard> — see internal/recommend/persist.go),
+//     which keeps recovery and replication per-shard prefix scans.
 package kvstore
 
 import (

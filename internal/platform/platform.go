@@ -3,13 +3,28 @@
 // merchandise, and one or more Buyer Agent Servers (the recommendation
 // mechanism), all running in-process over the loopback agent transport.
 // cmd/platformd assembles the same pieces over TCP with the atp transport.
+//
+// Engine topology is a Config choice. By default every Buyer Agent Server
+// shares one recommendation engine (the paper's single mechanism). With
+// ReplicateEngines each server gets its own engine: community shard s is
+// owned by server s%N, a recommend.Router forwards each server's writes to
+// the owner, and a recommend.Replicator per server tails the owners'
+// journals so every server reads from a local replica. SeedCommunity and
+// SyncReplicas give deterministic post-write convergence barriers.
+//
+// With StateDir set, every store is WAL-backed under one root — the
+// engine(s) under engine/ (engine-<i>/ when replicated), each server's
+// UserDB and BSMDB under buyer-server-<n>/ — and New recovers all of it,
+// so a restarted platform answers as it did before the restart.
 package platform
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"path/filepath"
+	"time"
 
 	"agentrec/internal/aglet"
 	"agentrec/internal/buyerserver"
@@ -23,14 +38,25 @@ import (
 
 // Config sizes the platform. Zero fields take the default in brackets.
 type Config struct {
-	Marketplaces int                // [2]
-	BuyerServers int                // [1]
-	EngineShards int                // user-keyed engine shards [recommend.DefaultShards]
-	StateDir     string             // durable state root; empty = memory-only [""]
-	Tracer       *trace.Recorder    // optional workflow tracer
-	EngineOpts   []recommend.Option // tuning for the shared engine
-	BuyerOpts    []buyerserver.Option
-	Products     []*catalog.Product // initial merchandise, distributed round-robin
+	Marketplaces int    // [2]
+	BuyerServers int    // [1]
+	EngineShards int    // user-keyed engine shards [recommend.DefaultShards]
+	StateDir     string // durable state root; empty = memory-only [""]
+
+	// ReplicateEngines gives every Buyer Agent Server its own engine
+	// instead of one shared in-process engine: each shard is owned by
+	// server shard%N, writes are routed to the owner, and every server's
+	// Replicator tails the owners' journals so reads answer from local
+	// state — the paper's Fig 3.1 scaled out. SeedCommunity then ends with
+	// a SyncReplicas barrier so freshly seeded platforms read consistently.
+	ReplicateEngines bool
+	// ReplicationPull is the background tail interval [100ms].
+	ReplicationPull time.Duration
+
+	Tracer     *trace.Recorder    // optional workflow tracer
+	EngineOpts []recommend.Option // tuning for every engine
+	BuyerOpts  []buyerserver.Option
+	Products   []*catalog.Product // initial merchandise, distributed round-robin
 }
 
 // ErrNoBuyerServers reports a config without any buyer server.
@@ -43,9 +69,16 @@ type Platform struct {
 	Markets     []*marketplace.Server
 	Buyers      []*buyerserver.Server
 	Union       *catalog.Catalog // integrated view of all marketplace merchandise
-	Engine      *recommend.Engine
 
-	hosts []*aglet.Host
+	// Engine is buyer server 0's engine. Without ReplicateEngines it is
+	// the one engine every server shares; with replication each server has
+	// its own replica in Engines and converges on the same answers.
+	Engine      *recommend.Engine
+	Engines     []*recommend.Engine
+	Replicators []*recommend.Replicator // one per server when replicating
+
+	writer recommend.Writer // seeding write surface (router 0 when replicating)
+	hosts  []*aglet.Host
 }
 
 // New boots a platform.
@@ -105,20 +138,55 @@ func New(cfg Config) (*Platform, error) {
 	}
 
 	// Prepend defaults so explicit EngineOpts still win.
-	var engineOpts []recommend.Option
-	if cfg.EngineShards > 0 {
-		engineOpts = append(engineOpts, recommend.WithShards(cfg.EngineShards))
+	baseOpts := func(stateSub string) []recommend.Option {
+		var opts []recommend.Option
+		if cfg.EngineShards > 0 {
+			opts = append(opts, recommend.WithShards(cfg.EngineShards))
+		}
+		if cfg.StateDir != "" {
+			// Each engine journals its community under the state root and
+			// recovers it here, so a platform restart keeps every consumer.
+			opts = append(opts, recommend.WithPersistence(filepath.Join(cfg.StateDir, stateSub)))
+		}
+		return opts
 	}
-	if cfg.StateDir != "" {
-		// The shared engine journals the community under <StateDir>/engine
-		// and recovers it here, so a platform restart keeps every consumer.
-		engineOpts = append(engineOpts, recommend.WithPersistence(filepath.Join(cfg.StateDir, "engine")))
+	if cfg.ReplicateEngines {
+		// One engine per buyer server: shard s is owned by server s%N,
+		// writes route to the owner, and each server tails the others.
+		for i := 0; i < cfg.BuyerServers; i++ {
+			opts := append(baseOpts(fmt.Sprintf("engine-%d", i)), recommend.WithJournalFeed(0))
+			engine, err := recommend.Open(p.Union, append(opts, cfg.EngineOpts...)...)
+			if err != nil {
+				return nil, err
+			}
+			p.Engines = append(p.Engines, engine)
+		}
+		peers := make([]recommend.Peer, cfg.BuyerServers)
+		for i, e := range p.Engines {
+			peers[i] = recommend.LocalPeer{Engine: e}
+		}
+		pull := cfg.ReplicationPull
+		if pull <= 0 {
+			pull = 100 * time.Millisecond
+		}
+		for i, e := range p.Engines {
+			r, err := recommend.NewReplicator(e, i, peers, recommend.WithPullInterval(pull))
+			if err != nil {
+				return nil, err
+			}
+			r.Start()
+			p.Replicators = append(p.Replicators, r)
+		}
+	} else {
+		engine, err := recommend.Open(p.Union, append(baseOpts("engine"), cfg.EngineOpts...)...)
+		if err != nil {
+			return nil, err
+		}
+		p.Engines = []*recommend.Engine{engine}
 	}
-	engine, err := recommend.Open(p.Union, append(engineOpts, cfg.EngineOpts...)...)
-	if err != nil {
-		return nil, err
-	}
-	p.Engine = engine
+	p.Engine = p.Engines[0]
+	p.writer = p.Engine
+
 	for i := 0; i < cfg.BuyerServers; i++ {
 		name := fmt.Sprintf("buyer-server-%d", i+1)
 		reg := aglet.NewRegistry()
@@ -128,11 +196,27 @@ func New(cfg Config) (*Platform, error) {
 			buyerserver.WithTracer(cfg.Tracer),
 			buyerserver.WithMarkets(marketNames...),
 		}
+		engine := p.Engine
+		if cfg.ReplicateEngines {
+			engine = p.Engines[i]
+			writers := make([]recommend.Writer, cfg.BuyerServers)
+			for j, e := range p.Engines {
+				writers[j] = e
+			}
+			router, err := recommend.NewRouter(engine, i, writers)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				p.writer = router
+			}
+			opts = append(opts, buyerserver.WithCommunityWriter(router))
+		}
 		if cfg.StateDir != "" {
 			// Each mechanism persists its own UserDB/BSMDB beside the engine.
 			opts = append(opts, buyerserver.WithStateDir(filepath.Join(cfg.StateDir, name)))
 		}
-		srv, err := buyerserver.New(host, reg, p.Engine, caProxy, append(opts, cfg.BuyerOpts...)...)
+		srv, err := buyerserver.New(host, reg, engine, caProxy, append(opts, cfg.BuyerOpts...)...)
 		if err != nil {
 			return nil, err
 		}
@@ -140,6 +224,20 @@ func New(cfg Config) (*Platform, error) {
 	}
 	ok = true
 	return p, nil
+}
+
+// SyncReplicas runs one deterministic catch-up pass on every replicator:
+// after a nil return, every buyer server's engine has applied all writes
+// the owners had journaled when the pass began. A no-op without
+// ReplicateEngines.
+func (p *Platform) SyncReplicas(ctx context.Context) error {
+	var first error
+	for _, r := range p.Replicators {
+		if err := r.Sync(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 func (p *Platform) newHost(name string, reg *aglet.Registry) *aglet.Host {
@@ -208,24 +306,34 @@ func (p *Platform) integrate(i int, sellerID string, apply func(*catalog.Integra
 // Profiles go through the engine's bulk-install path (one lock acquisition
 // and one durable batch per shard).
 func (p *Platform) SeedCommunity(profiles []*profile.Profile, purchases map[string][]string) error {
-	if err := p.Engine.SetProfiles(profiles); err != nil {
+	if err := p.writer.SetProfiles(profiles); err != nil {
 		return err
 	}
 	for user, pids := range purchases {
 		for _, pid := range pids {
-			if err := p.Engine.RecordPurchase(user, pid); err != nil {
+			if err := p.writer.RecordPurchase(user, pid); err != nil {
 				return err
 			}
 		}
 	}
+	if len(p.Replicators) > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		return p.SyncReplicas(ctx)
+	}
 	return nil
 }
 
-// Close shuts everything down: buyer servers first (they own live agents
-// with in-flight trips), then marketplaces, the coordinator, and the
-// engine's persistence journal.
+// Close shuts everything down: replicators first (no new applies), then
+// buyer servers (they own live agents with in-flight trips), marketplaces,
+// the coordinator, and the engines' persistence journals.
 func (p *Platform) Close() error {
 	var first error
+	for _, r := range p.Replicators {
+		if err := r.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
 	for _, b := range p.Buyers {
 		if err := b.Close(); err != nil && first == nil {
 			first = err
@@ -236,8 +344,8 @@ func (p *Platform) Close() error {
 			first = err
 		}
 	}
-	if p.Engine != nil {
-		if err := p.Engine.Close(); err != nil && first == nil {
+	for _, e := range p.Engines {
+		if err := e.Close(); err != nil && first == nil {
 			first = err
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"agentrec/internal/catalog"
 	"agentrec/internal/coordinator"
 	"agentrec/internal/profile"
+	"agentrec/internal/recommend"
 	"agentrec/internal/trace"
 )
 
@@ -282,5 +283,118 @@ func TestSeedCommunityBulkPath(t *testing.T) {
 	}
 	if !p.Engine.Snapshot().Purchases("u0")["p1"] {
 		t.Error("seeded purchase missing")
+	}
+}
+
+// TestReplicatedBuyerServers boots the Fig 3.1 multi-server deployment
+// with per-server engines: writes route to shard owners through the
+// consumer workflows, replicas tail the journals, and after a sync every
+// buyer server answers from local state with the same community.
+func TestReplicatedBuyerServers(t *testing.T) {
+	products := demoProducts()
+	for _, prod := range products {
+		prod.Stock = 100 // six consumers each buy p1
+	}
+	p, err := New(Config{
+		Marketplaces:     1,
+		BuyerServers:     3,
+		ReplicateEngines: true,
+		Products:         products,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if len(p.Engines) != 3 || len(p.Replicators) != 3 {
+		t.Fatalf("replicated platform has %d engines, %d replicators", len(p.Engines), len(p.Replicators))
+	}
+	if p.Engine != p.Engines[0] {
+		t.Fatal("Engine is not server 0's engine")
+	}
+
+	ctx := testCtx(t)
+	// Consumers register on different servers; their profile installs are
+	// routed to the owning server regardless.
+	users := []string{"alice", "bob", "carol", "dave", "erin", "frank"}
+	for i, user := range users {
+		b := p.Buyers[i%len(p.Buyers)]
+		if err := b.Register(ctx, user); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Login(ctx, user); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Buy(ctx, user, "p1", 0, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.SyncReplicas(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Every server's engine now holds the whole community locally.
+	for i, e := range p.Engines {
+		if got := len(e.Users()); got != len(users) {
+			t.Errorf("engine %d community = %d users, want %d", i, got, len(users))
+		}
+	}
+	// And answers identically: the purchase-driven top seller is p1 with
+	// one sale per consumer, on every server.
+	for i, e := range p.Engines {
+		recs, err := e.Recommend(recommend.StrategyTopSeller, "", "", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 1 || recs[0].ProductID != "p1" || recs[0].Score != float64(len(users)) {
+			t.Errorf("engine %d top seller = %+v, want p1 with %d sales", i, recs, len(users))
+		}
+	}
+	// Replication stats see every non-owned shard healthy.
+	for i, r := range p.Replicators {
+		st := r.Stats()
+		if st.Lag() != 0 {
+			t.Errorf("replicator %d lag = %d after sync", i, st.Lag())
+		}
+		for _, sh := range st.Shards {
+			if sh.LastError != "" {
+				t.Errorf("replicator %d shard %d: %s", i, sh.Shard, sh.LastError)
+			}
+		}
+	}
+}
+
+// TestReplicatedSeedCommunity pins the seeding barrier: SeedCommunity on a
+// replicated platform routes through the owners and syncs, so every engine
+// reads the seeded community immediately after.
+func TestReplicatedSeedCommunity(t *testing.T) {
+	p, err := New(Config{
+		Marketplaces:     1,
+		BuyerServers:     2,
+		ReplicateEngines: true,
+		Products:         demoProducts(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	profiles := make([]*profile.Profile, 0, 8)
+	for i := 0; i < 8; i++ {
+		pr := profile.NewProfile(fmt.Sprintf("u%d", i))
+		prod := demoProducts()[i%4]
+		if err := pr.Observe(prod.Evidence(profile.BehaviourBuy)); err != nil {
+			t.Fatal(err)
+		}
+		profiles = append(profiles, pr)
+	}
+	if err := p.SeedCommunity(profiles, map[string][]string{"u0": {"p1"}, "u1": {"p2"}}); err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range p.Engines {
+		if st := e.Stats(); st.Users != 8 {
+			t.Errorf("engine %d seeded users = %d, want 8", i, st.Users)
+		}
+		if !e.Snapshot().Purchases("u0")["p1"] {
+			t.Errorf("engine %d missing seeded purchase", i)
+		}
 	}
 }

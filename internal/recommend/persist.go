@@ -7,7 +7,6 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
-	"sync/atomic"
 
 	"agentrec/internal/kvstore"
 	"agentrec/internal/profile"
@@ -31,10 +30,17 @@ var (
 	ErrBadKey        = errors.New("recommend: id contains NUL byte")
 )
 
-// ShardData is one community shard as recovered from a Persister.
+// ShardData is one community shard as recovered from a Persister: the
+// shard's profiles, its consumers' purchase sets, and the sell counts
+// *attributed to this shard* — how many times this shard's consumers bought
+// each product. Attributing sells to the buyer's shard (rather than hashing
+// by product) makes every shard's durable state self-contained, which is
+// what lets a replica rebuild a shard from its owner's journal alone; the
+// engine's served totals are the sum of all shards' attributions.
 type ShardData struct {
 	Profiles  []*profile.Profile
 	Purchases map[string]map[string]bool // user -> product set
+	Sells     map[string]int64           // product -> sales by this shard's users
 }
 
 // Persister journals community mutations durably and replays them on
@@ -48,14 +54,18 @@ type Persister interface {
 	// first), so a crash can lose an acknowledged write only if SaveProfiles
 	// itself errored.
 	SaveProfiles(shard int, profs []*profile.Profile) error
-	// SavePurchase durably records userID buying productID (in userShard's
-	// bucket) together with the product's new total sell count (in
-	// sellShard's bucket), as one atomic batch.
-	SavePurchase(userShard int, userID, productID string, sellShard int, total int64) error
-	// LoadShard recovers one shard's profiles and purchase sets.
+	// SavePurchase durably records userID buying productID together with
+	// the product's new sell count attributed to the user's shard, as one
+	// atomic batch.
+	SavePurchase(shard int, userID, productID string, total int64) error
+	// SaveShard durably replaces shard's entire state with data — the
+	// replication snapshot catch-up path. Stale keys are removed; the write
+	// need not be one atomic batch (a crash mid-replace is healed by the
+	// next catch-up).
+	SaveShard(shard int, data ShardData) error
+	// LoadShard recovers one shard's profiles, purchase sets, and
+	// shard-attributed sell counts.
 	LoadShard(shard int) (ShardData, error)
-	// LoadSells recovers one sell shard's product -> total map.
-	LoadSells(shard int) (map[string]int64, error)
 	// ShardUsers lists the consumer ids stored in shard without loading
 	// profiles, so Users/Stats can answer for spilled shards cheaply.
 	ShardUsers(shard int) ([]string, error)
@@ -175,6 +185,10 @@ func (e *Engine) faultInLocked(sh *shard) error {
 		data.Purchases = make(map[string]map[string]bool)
 	}
 	sh.purchases = data.Purchases
+	if data.Sells == nil {
+		data.Sells = make(map[string]int64)
+	}
+	sh.sells = data.Sells
 	sh.gen.Add(1)
 	sh.resident.Store(true)
 	e.resMu.Lock()
@@ -216,6 +230,7 @@ func (e *Engine) maybeEvict(keep *shard) {
 		if victim.resident.Load() {
 			victim.profiles = nil
 			victim.purchases = nil
+			victim.sells = nil
 			victim.resident.Store(false)
 			victim.gen.Add(1) // invalidate any cached view
 			victim.view.Store(nil)
@@ -260,8 +275,9 @@ func (e *Engine) residentView(sh *shard) (*shardView, error) {
 
 // recover replays the Persister into the engine: postings for every
 // consumer (the index is always fully resident), shard maps up to the
-// resident cap, and the sell counters. Called by Open before the engine is
-// shared, so no locks are needed.
+// resident cap, and the sell counters (each shard's attributed sells
+// accumulate into the served per-product totals). Called by Open before the
+// engine is shared, so no locks are needed.
 func (e *Engine) recover() error {
 	for _, sh := range e.shards {
 		data, err := e.persist.LoadShard(sh.id)
@@ -276,29 +292,22 @@ func (e *Engine) recover() error {
 				sh.profiles[prof.UserID] = &stored{prof: prof, sum: sum}
 			}
 		}
+		for pid, total := range data.Sells {
+			e.sellFor(pid).add(pid, total)
+		}
 		if keep {
 			if data.Purchases != nil {
 				sh.purchases = data.Purchases
+			}
+			if data.Sells != nil {
+				sh.sells = data.Sells
 			}
 			e.residentN++
 		} else {
 			sh.profiles = nil
 			sh.purchases = nil
+			sh.sells = nil
 			sh.resident.Store(false)
-		}
-	}
-	for _, ss := range e.sells {
-		counts, err := e.persist.LoadSells(ss.id)
-		if err != nil {
-			return fmt.Errorf("recommend: recovering sell shard %d: %w", ss.id, err)
-		}
-		for pid, total := range counts {
-			c := ss.counts[pid]
-			if c == nil {
-				c = new(atomic.Int64)
-				ss.counts[pid] = c
-			}
-			c.Store(total)
 		}
 	}
 	return nil
@@ -307,11 +316,14 @@ func (e *Engine) recover() error {
 // --- the kvstore-backed Persister ---
 
 // Bucket scheme: one bucket per shard and kind, so recovery and fault-in
-// are single ordered prefix scans and shard buckets never interleave.
+// are single ordered prefix scans and shard buckets never interleave. All
+// three buckets for shard N are keyed by the *user* shard, so a shard's
+// buckets are a self-contained, totally ordered change log — the unit the
+// replication layer (replicate.go) ships between servers.
 //
-//	prof/<shard>  : <userID>                 -> profile JSON
+//	prof/<shard>  : <userID>                  -> profile JSON
 //	purch/<shard> : <userID> \x00 <productID> -> 0x01
-//	sell/<shard>  : <productID>              -> decimal total
+//	sell/<shard>  : <productID>               -> decimal sales by this shard's users
 const (
 	bucketProfiles  = "prof/"
 	bucketPurchases = "purch/"
@@ -383,18 +395,116 @@ func (kp *kvPersister) SaveProfiles(shard int, profs []*profile.Profile) error {
 	return flush()
 }
 
-func (kp *kvPersister) SavePurchase(userShard int, userID, productID string, sellShard int, total int64) error {
+func (kp *kvPersister) SavePurchase(shard int, userID, productID string, total int64) error {
 	if strings.ContainsRune(userID, 0) || strings.ContainsRune(productID, 0) {
 		return fmt.Errorf("%w: purchase %q/%q", ErrBadKey, userID, productID)
 	}
 	return kp.store.Apply([]kvstore.Op{
-		{Bucket: purchBucket(userShard), Key: userID + "\x00" + productID, Value: []byte{1}},
-		{Bucket: sellBucket(sellShard), Key: productID, Value: []byte(strconv.FormatInt(total, 10))},
+		{Bucket: purchBucket(shard), Key: userID + "\x00" + productID, Value: []byte{1}},
+		{Bucket: sellBucket(shard), Key: productID, Value: []byte(strconv.FormatInt(total, 10))},
 	})
 }
 
+// SaveShard replaces the shard's three buckets with data: stale keys are
+// deleted, live ones upserted, split into batches under the record cap.
+// Within one SaveShard the deletes land first, so a crash mid-replace can
+// only lose state the next snapshot catch-up rewrites anyway.
+func (kp *kvPersister) SaveShard(shard int, data ShardData) error {
+	var ops []kvstore.Op
+	pending := 0
+	flush := func() error {
+		if len(ops) == 0 {
+			return nil
+		}
+		if err := kp.store.Apply(ops); err != nil {
+			return err
+		}
+		ops, pending = ops[:0], 0
+		return nil
+	}
+	add := func(op kvstore.Op, size int) error {
+		if pending+size > saveProfilesChunk {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		ops = append(ops, op)
+		pending += size
+		return nil
+	}
+
+	// Deletes for keys the new state no longer has.
+	live := make(map[string]map[string]bool, 3)
+	live[profBucket(shard)] = make(map[string]bool, len(data.Profiles))
+	for _, p := range data.Profiles {
+		live[profBucket(shard)][p.UserID] = true
+	}
+	live[purchBucket(shard)] = make(map[string]bool)
+	for user, set := range data.Purchases {
+		for pid := range set {
+			live[purchBucket(shard)][user+"\x00"+pid] = true
+		}
+	}
+	live[sellBucket(shard)] = make(map[string]bool, len(data.Sells))
+	for pid := range data.Sells {
+		live[sellBucket(shard)][pid] = true
+	}
+	for bucket, keep := range live {
+		ents, err := kp.store.Scan(bucket, "")
+		if err != nil {
+			return err
+		}
+		for _, ent := range ents {
+			if !keep[ent.Key] {
+				if err := add(kvstore.Op{Bucket: bucket, Key: ent.Key, Delete: true}, len(ent.Key)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+
+	// Upserts for the new state.
+	for _, p := range data.Profiles {
+		if strings.ContainsRune(p.UserID, 0) {
+			return fmt.Errorf("%w: user %q", ErrBadKey, p.UserID)
+		}
+		enc, err := p.Marshal()
+		if err != nil {
+			return fmt.Errorf("recommend: encoding profile %s: %w", p.UserID, err)
+		}
+		if err := add(kvstore.Op{Bucket: profBucket(shard), Key: p.UserID, Value: enc}, len(enc)); err != nil {
+			return err
+		}
+	}
+	for user, set := range data.Purchases {
+		for pid := range set {
+			if strings.ContainsRune(user, 0) || strings.ContainsRune(pid, 0) {
+				return fmt.Errorf("%w: purchase %q/%q", ErrBadKey, user, pid)
+			}
+			if err := add(kvstore.Op{Bucket: purchBucket(shard), Key: user + "\x00" + pid, Value: []byte{1}}, len(user)+len(pid)+1); err != nil {
+				return err
+			}
+		}
+	}
+	for pid, total := range data.Sells {
+		if strings.ContainsRune(pid, 0) {
+			return fmt.Errorf("%w: product %q", ErrBadKey, pid)
+		}
+		if err := add(kvstore.Op{Bucket: sellBucket(shard), Key: pid, Value: []byte(strconv.FormatInt(total, 10))}, len(pid)+20); err != nil {
+			return err
+		}
+	}
+	return flush()
+}
+
 func (kp *kvPersister) LoadShard(shard int) (ShardData, error) {
-	data := ShardData{Purchases: make(map[string]map[string]bool)}
+	data := ShardData{
+		Purchases: make(map[string]map[string]bool),
+		Sells:     make(map[string]int64),
+	}
 	profs, err := kp.store.Scan(profBucket(shard), "")
 	if err != nil {
 		return data, err
@@ -422,23 +532,18 @@ func (kp *kvPersister) LoadShard(shard int) (ShardData, error) {
 		}
 		set[product] = true
 	}
-	return data, nil
-}
-
-func (kp *kvPersister) LoadSells(shard int) (map[string]int64, error) {
-	ents, err := kp.store.Scan(sellBucket(shard), "")
+	sells, err := kp.store.Scan(sellBucket(shard), "")
 	if err != nil {
-		return nil, err
+		return data, err
 	}
-	out := make(map[string]int64, len(ents))
-	for _, ent := range ents {
+	for _, ent := range sells {
 		total, err := strconv.ParseInt(string(ent.Value), 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("recommend: sell shard %d count for %s: %w", shard, ent.Key, err)
+			return data, fmt.Errorf("recommend: shard %d sell count for %s: %w", shard, ent.Key, err)
 		}
-		out[ent.Key] = total
+		data.Sells[ent.Key] = total
 	}
-	return out, nil
+	return data, nil
 }
 
 func (kp *kvPersister) ShardUsers(shard int) ([]string, error) {

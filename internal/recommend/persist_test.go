@@ -543,13 +543,13 @@ type failingPersister struct{}
 var errInjected = errors.New("injected persister failure")
 
 func (failingPersister) SaveProfiles(int, []*profile.Profile) error { return errInjected }
-func (failingPersister) SavePurchase(int, string, string, int, int64) error {
+func (failingPersister) SavePurchase(int, string, string, int64) error {
 	return errInjected
 }
-func (failingPersister) LoadShard(int) (ShardData, error)        { return ShardData{}, errInjected }
-func (failingPersister) LoadSells(int) (map[string]int64, error) { return nil, errInjected }
-func (failingPersister) ShardUsers(int) ([]string, error)        { return nil, errInjected }
-func (failingPersister) Compact() error                          { return nil }
-func (failingPersister) Close() error                            { return nil }
+func (failingPersister) SaveShard(int, ShardData) error   { return errInjected }
+func (failingPersister) LoadShard(int) (ShardData, error) { return ShardData{}, errInjected }
+func (failingPersister) ShardUsers(int) ([]string, error) { return nil, errInjected }
+func (failingPersister) Compact() error                   { return nil }
+func (failingPersister) Close() error                     { return nil }
 
 var _ = fmt.Sprintf // keep fmt imported for debugging edits

@@ -32,6 +32,30 @@
 //   - Recommendation requests run lock-free against immutable Snapshots
 //     assembled from per-shard copy-on-read views; sell counts live in
 //     atomic per-shard counters merged on read.
+//   - With persistence (Open + WithPersistence) every mutation is
+//     journaled to a WAL-backed store before it mutates memory
+//     (journal-first: an acknowledged write is durable), state is
+//     recovered on construction, and cold shards can spill out of memory
+//     entirely (persist.go).
+//   - With a journal feed (WithJournalFeed) the engine supports per-shard
+//     ownership across servers: writes route to a shard's owning server
+//     (Router), followers tail the owner's journal and converge to
+//     identical state (Replicator; replicate.go).
+//
+// # Invariants
+//
+//   - Recommendation results are identical for any shard count, with or
+//     without spilling, on owner or caught-up follower.
+//   - Lock order: shard → index bucket, shard → residency bookkeeping
+//     (resMu), shard → journal feed. No path acquires these in reverse,
+//     and no path holds two shard locks at once.
+//   - A shard's writes are totally ordered by its lock; the journal, the
+//     feed, and memory all observe that one order. Sell counts are
+//     attributed to the buyer's shard durably, so one shard's journal
+//     fully determines its replica; the served totals are the sum over
+//     shards.
+//   - Stored profiles and index postings are immutable in place; every
+//     install replaces whole entries.
 //
 // See DESIGN.md for the full architecture map.
 package recommend
@@ -165,6 +189,10 @@ type Engine struct {
 	resMu       sync.Mutex    // guards residentN and stickyErr
 	residentN   int
 	stickyErr   error
+
+	// Replication (nil unless WithJournalFeed; see replicate.go).
+	feed    *journalFeed
+	feedCap int
 }
 
 // NewEngine returns an engine over cat. Persistence options are rejected
@@ -200,6 +228,13 @@ func Open(cat *catalog.Catalog, opts ...Option) (*Engine, error) {
 	}
 	e.index = newCategoryIndex(e.nshards)
 	e.ext = newHistory(e.nshards)
+	if e.feedCap > 0 {
+		feed, err := newJournalFeed(e.nshards, e.feedCap)
+		if err != nil {
+			return nil, err
+		}
+		e.feed = feed
+	}
 	if e.persist == nil && e.stateDir != "" {
 		p, err := OpenPersister(e.stateDir)
 		if err != nil {
@@ -220,6 +255,16 @@ func (e *Engine) shardFor(userID string) *shard {
 	return e.shards[fnv32a(userID)%uint32(len(e.shards))]
 }
 
+// ShardOf reports which shard userID's community state lives in. Write
+// routing across replicated servers keys ownership off this.
+func (e *Engine) ShardOf(userID string) int {
+	return int(fnv32a(userID) % uint32(e.nshards))
+}
+
+// Shards reports the engine's shard count. Replication requires every
+// server to agree on it.
+func (e *Engine) Shards() int { return e.nshards }
+
 func (e *Engine) sellFor(productID string) *sellShard {
 	return e.sells[fnv32a(productID)%uint32(len(e.sells))]
 }
@@ -234,28 +279,7 @@ func (e *Engine) sellFor(productID string) *sellShard {
 // With persistence the profile is journaled (durably) before the in-memory
 // install; the error is always nil for memory-only engines.
 func (e *Engine) SetProfile(p *profile.Profile) error {
-	clone := p.Clone()
-	sum := clone.Summary()
-	sh := e.shardFor(p.UserID)
-	if err := e.lockResidentW(sh); err != nil {
-		return err
-	}
-	if e.persist != nil {
-		if err := e.persist.SaveProfiles(sh.id, []*profile.Profile{clone}); err != nil {
-			sh.mu.Unlock()
-			return err
-		}
-	}
-	var prev *profile.Summary
-	if old := sh.profiles[p.UserID]; old != nil {
-		prev = old.sum
-	}
-	sh.profiles[p.UserID] = &stored{prof: clone, sum: sum}
-	sh.gen.Add(1)
-	e.index.update(prev, sum)
-	sh.mu.Unlock()
-	e.maybeEvict(sh)
-	return nil
+	return e.installShardProfiles(e.shardFor(p.UserID), []*profile.Profile{p.Clone()})
 }
 
 // SetProfiles bulk-installs profiles: one shard lock acquisition, one
@@ -267,38 +291,59 @@ func (e *Engine) SetProfile(p *profile.Profile) error {
 func (e *Engine) SetProfiles(ps []*profile.Profile) error {
 	byShard := make([][]*profile.Profile, e.nshards)
 	for _, p := range ps {
-		i := int(fnv32a(p.UserID) % uint32(e.nshards))
+		i := e.ShardOf(p.UserID)
 		byShard[i] = append(byShard[i], p.Clone())
 	}
 	for i, group := range byShard {
 		if len(group) == 0 {
 			continue
 		}
-		sh := e.shards[i]
-		if err := e.lockResidentW(sh); err != nil {
+		if err := e.installShardProfiles(e.shards[i], group); err != nil {
 			return err
 		}
-		if e.persist != nil {
-			if err := e.persist.SaveProfiles(sh.id, group); err != nil {
-				sh.mu.Unlock()
-				return err
-			}
-		}
-		changes := make([]postingChange, 0, len(group))
-		for _, clone := range group {
-			sum := clone.Summary()
-			var prev *profile.Summary
-			if old := sh.profiles[clone.UserID]; old != nil {
-				prev = old.sum
-			}
-			sh.profiles[clone.UserID] = &stored{prof: clone, sum: sum}
-			changes = append(changes, postingChange{prev: prev, sum: sum})
-		}
-		sh.gen.Add(1)
-		e.index.updateBatch(changes)
-		sh.mu.Unlock()
-		e.maybeEvict(sh)
 	}
+	return nil
+}
+
+// installShardProfiles installs profs — already private copies, all
+// belonging to sh — journal-first, then into the shard map, candidate
+// index, and journal feed, all inside the shard critical section. Shared by
+// SetProfile, SetProfiles, and the replication apply path.
+func (e *Engine) installShardProfiles(sh *shard, profs []*profile.Profile) error {
+	encoded, err := e.feedEncodeProfiles(profs)
+	if err != nil {
+		return err
+	}
+	if err := e.lockResidentW(sh); err != nil {
+		return err
+	}
+	if e.persist != nil {
+		if err := e.persist.SaveProfiles(sh.id, profs); err != nil {
+			sh.mu.Unlock()
+			return err
+		}
+	}
+	changes := make([]postingChange, 0, len(profs))
+	for _, p := range profs {
+		sum := p.Summary()
+		var prev *profile.Summary
+		if old := sh.profiles[p.UserID]; old != nil {
+			prev = old.sum
+		}
+		sh.profiles[p.UserID] = &stored{prof: p, sum: sum}
+		changes = append(changes, postingChange{prev: prev, sum: sum})
+	}
+	sh.gen.Add(1)
+	e.index.updateBatch(changes)
+	if e.feed != nil {
+		// Bulk installs split into several bounded records, so no single
+		// journal record outgrows a network frame when peers tail the feed.
+		for _, chunk := range chunkEncoded(encoded, maxFeedRecordBytes) {
+			e.feed.emit(sh.id, JournalRecord{Op: OpProfiles, Profiles: chunk})
+		}
+	}
+	sh.mu.Unlock()
+	e.maybeEvict(sh)
 	return nil
 }
 
@@ -327,51 +372,36 @@ func (e *Engine) Profile(userID string) (*profile.Profile, error) {
 // RecordPurchase notes that userID bought productID, feeding both the CF
 // history and the top-seller counts. Duplicate records are idempotent per
 // user but still bump popularity. With persistence the purchase and the
-// product's new sell total are journaled as one atomic batch before the
-// in-memory update; the error is always nil for memory-only engines.
+// product's new sell count attributed to the user's shard are journaled as
+// one atomic batch — under the shard lock alone, which serializes the
+// shard's attributed totals — before the in-memory update; the error is
+// always nil for memory-only engines. The served per-product total is the
+// sum of every shard's attribution, bumped after the shard commit.
 func (e *Engine) RecordPurchase(userID, productID string) error {
 	sh := e.shardFor(userID)
 	if err := e.lockResidentW(sh); err != nil {
 		return err
 	}
-	if e.persist == nil {
-		set := sh.purchases[userID]
-		if set == nil {
-			set = make(map[string]bool)
-			sh.purchases[userID] = set
+	total := sh.sells[productID] + 1
+	if e.persist != nil {
+		if err := e.persist.SavePurchase(sh.id, userID, productID, total); err != nil {
+			sh.mu.Unlock()
+			return err
 		}
-		set[productID] = true
-		sh.gen.Add(1)
-		sh.mu.Unlock()
-		e.sellFor(productID).bump(productID)
-		return nil
 	}
-	// Durable path: take the sell shard's write lock (lock order shard ->
-	// sellShard, never reversed) so the journaled totals are monotonic,
-	// journal purchase + total as one batch, then mutate memory.
-	ss := e.sellFor(productID)
-	ss.mu.Lock()
-	c := ss.counts[productID]
-	if c == nil {
-		c = new(atomic.Int64)
-		ss.counts[productID] = c
-	}
-	total := c.Load() + 1
-	if err := e.persist.SavePurchase(sh.id, userID, productID, ss.id, total); err != nil {
-		ss.mu.Unlock()
-		sh.mu.Unlock()
-		return err
-	}
-	c.Store(total)
-	ss.mu.Unlock()
 	set := sh.purchases[userID]
 	if set == nil {
 		set = make(map[string]bool)
 		sh.purchases[userID] = set
 	}
 	set[productID] = true
+	sh.sells[productID] = total
 	sh.gen.Add(1)
+	if e.feed != nil {
+		e.feed.emit(sh.id, JournalRecord{Op: OpPurchase, UserID: userID, ProductID: productID})
+	}
 	sh.mu.Unlock()
+	e.sellFor(productID).bump(productID)
 	e.maybeEvict(sh)
 	return nil
 }

@@ -1,0 +1,752 @@
+package recommend
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"agentrec/internal/profile"
+)
+
+// This file is the engine's replication layer: the machinery that lets
+// every Buyer Agent Server in a multi-server deployment (the paper's
+// Fig 3.1 scaled out) answer recommendations from local state.
+//
+// Each community shard has exactly one owner server (OwnerOf: shard modulo
+// server count). Writes are routed to the owner (Router); the owner's
+// engine journals them as usual and additionally retains a bounded,
+// per-shard, totally ordered tail of JournalRecords (journalFeed). Every
+// other server runs a Replicator that tails each owner's feed and applies
+// the records to its own engine through the same install paths local writes
+// use — so a follower's shard state, durable layout included, converges to
+// the owner's. When a follower's cursor predates the retained tail (cold
+// start, restart, or a pruned feed) the owner serves a full ShardSnapshot
+// instead, built from the same state LoadShard recovery uses; the follower
+// replaces the shard wholesale and resumes live tailing from the snapshot's
+// sequence number.
+//
+// The feed is in-memory: its epoch is regenerated each Open, so a follower
+// whose cursor carries a stale epoch is forced through snapshot catch-up
+// rather than silently resuming against a different history. Sell counts
+// replicate exactly because the durable layout attributes them to the
+// buyer's shard (see ShardData): a shard's journal alone determines its
+// replica, and served totals are the sum over shards.
+
+// Errors reported by the replication layer.
+var (
+	ErrNoJournalFeed = errors.New("recommend: engine has no journal feed (build with WithJournalFeed)")
+	ErrBadShard      = errors.New("recommend: shard out of range")
+	ErrShardMismatch = errors.New("recommend: journal record routed to wrong shard (server shard counts differ?)")
+)
+
+// Journal record operations.
+const (
+	OpProfiles = "profiles" // a batch of profile installs for one shard
+	OpPurchase = "purchase" // one purchase by one of the shard's consumers
+)
+
+// JournalRecord is one replicated mutation of one community shard, in the
+// shard's total write order. Profiles are carried marshaled so records
+// cross process boundaries unchanged.
+type JournalRecord struct {
+	Shard     int      `json:"shard"`
+	Seq       uint64   `json:"seq"`
+	Op        string   `json:"op"`
+	Profiles  [][]byte `json:"profiles,omitempty"` // OpProfiles: marshaled profiles, install order
+	UserID    string   `json:"user,omitempty"`     // OpPurchase
+	ProductID string   `json:"product,omitempty"`  // OpPurchase
+}
+
+// PurchasePair is one (consumer, product) ownership edge in a ShardSnapshot.
+type PurchasePair struct {
+	UserID    string `json:"user"`
+	ProductID string `json:"product"`
+}
+
+// ShardSnapshot is the catch-up payload: one shard's full state, the same
+// three components LoadShard recovers.
+type ShardSnapshot struct {
+	Profiles  [][]byte         `json:"profiles,omitempty"`
+	Purchases []PurchasePair   `json:"purchases,omitempty"`
+	Sells     map[string]int64 `json:"sells,omitempty"`
+}
+
+// TailResult is one answer to a journal-tail request. Exactly one of
+// Records and Snapshot is meaningful: Records when the owner could serve
+// the cursor from its retained tail (possibly empty when the follower is
+// caught up), Snapshot when the follower must catch up wholesale. Seq is
+// the sequence number the follower's cursor should hold after applying.
+type TailResult struct {
+	Shards   int             `json:"shards"` // owner's shard count, for config-drift detection
+	Epoch    uint64          `json:"epoch"`
+	Seq      uint64          `json:"seq"`
+	Records  []JournalRecord `json:"records,omitempty"`
+	Snapshot *ShardSnapshot  `json:"snapshot,omitempty"`
+}
+
+// DefaultJournalTail is how many journal records per shard the feed retains
+// for followers unless WithJournalFeed overrides it.
+const DefaultJournalTail = 4096
+
+// WithJournalFeed makes the engine retain a bounded per-shard tail of its
+// write journal in memory so replicas can tail it (Engine.JournalTail).
+// n is the per-shard record retention; n <= 0 means DefaultJournalTail.
+// Followers whose cursor falls off the retained tail catch up by shard
+// snapshot instead, so retention trades memory for snapshot frequency.
+func WithJournalFeed(n int) Option {
+	return func(e *Engine) {
+		if n <= 0 {
+			n = DefaultJournalTail
+		}
+		e.feedCap = n
+	}
+}
+
+// journalFeed retains the per-shard record tails. Writers append while
+// holding their shard's write lock (lock order shard -> feed.mu), so a
+// shard's sequence numbers are assigned in the shard's write order; readers
+// holding a shard's read lock therefore observe a seq consistent with the
+// shard state they see.
+type journalFeed struct {
+	epoch uint64
+	cap   int
+
+	mu     sync.Mutex
+	shards []feedShard
+}
+
+type feedShard struct {
+	first   uint64 // seq of records[0]; the first record ever is seq 1
+	records []JournalRecord
+}
+
+func newJournalFeed(nshards, cap int) (*journalFeed, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return nil, fmt.Errorf("recommend: journal feed epoch: %w", err)
+	}
+	f := &journalFeed{
+		epoch:  binary.BigEndian.Uint64(b[:]) | 1, // never 0: zero epoch means "no cursor"
+		cap:    cap,
+		shards: make([]feedShard, nshards),
+	}
+	for i := range f.shards {
+		f.shards[i].first = 1
+	}
+	return f, nil
+}
+
+// emit appends rec to shard's tail, assigning the next sequence number.
+// The caller holds the shard's write lock.
+func (f *journalFeed) emit(shard int, rec JournalRecord) {
+	f.mu.Lock()
+	fs := &f.shards[shard]
+	rec.Shard = shard
+	rec.Seq = fs.first + uint64(len(fs.records))
+	fs.records = append(fs.records, rec)
+	if over := len(fs.records) - f.cap; over > 0 {
+		fs.records = append(fs.records[:0:0], fs.records[over:]...)
+		fs.first += uint64(over)
+	}
+	f.mu.Unlock()
+}
+
+// next returns the sequence number the shard's next record will get.
+func (f *journalFeed) next(shard int) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fs := &f.shards[shard]
+	return fs.first + uint64(len(fs.records))
+}
+
+// tailSince returns a copy of shard's records after seq since, or ok=false
+// when the cursor cannot be served from the retained tail (epoch mismatch,
+// pruned history, or a cursor from a different history running ahead).
+func (f *journalFeed) tailSince(shard int, epoch, since uint64) ([]JournalRecord, bool) {
+	if epoch != f.epoch {
+		return nil, false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fs := &f.shards[shard]
+	next := fs.first + uint64(len(fs.records))
+	if since+1 < fs.first || since+1 > next {
+		return nil, false
+	}
+	out := make([]JournalRecord, next-(since+1))
+	copy(out, fs.records[since+1-fs.first:])
+	return out, true
+}
+
+// maxFeedRecordBytes bounds the encoded profile payload of one OpProfiles
+// journal record, keeping every record comfortably inside a network frame
+// (atp.MaxFrame is 16 MiB; JSON/base64 transport overhead is ~1.4x).
+const maxFeedRecordBytes = 4 << 20
+
+// chunkEncoded splits encoded payloads into groups whose byte sizes sum to
+// at most limit each (a single oversized payload still gets its own group).
+func chunkEncoded(encoded [][]byte, limit int) [][][]byte {
+	var out [][][]byte
+	var cur [][]byte
+	size := 0
+	for _, enc := range encoded {
+		if len(cur) > 0 && size+len(enc) > limit {
+			out = append(out, cur)
+			cur, size = nil, 0
+		}
+		cur = append(cur, enc)
+		size += len(enc)
+	}
+	if len(cur) > 0 {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// feedEncodeProfiles marshals profs for feed emission, before any locks are
+// taken so an encoding failure never leaves a half-applied write. Returns
+// nil without a feed.
+func (e *Engine) feedEncodeProfiles(profs []*profile.Profile) ([][]byte, error) {
+	if e.feed == nil {
+		return nil, nil
+	}
+	out := make([][]byte, len(profs))
+	for i, p := range profs {
+		data, err := p.Marshal()
+		if err != nil {
+			return nil, fmt.Errorf("recommend: encoding profile %s for journal feed: %w", p.UserID, err)
+		}
+		out[i] = data
+	}
+	return out, nil
+}
+
+// JournalTail answers a follower's tail request for one shard: records
+// after (epoch, since) when the retained tail covers the cursor, a full
+// ShardSnapshot otherwise. The snapshot is cut under the shard's read lock,
+// so it is consistent with the sequence number it carries.
+func (e *Engine) JournalTail(shard int, epoch, since uint64) (TailResult, error) {
+	if e.feed == nil {
+		return TailResult{}, ErrNoJournalFeed
+	}
+	if shard < 0 || shard >= e.nshards {
+		return TailResult{}, fmt.Errorf("%w: %d of %d", ErrBadShard, shard, e.nshards)
+	}
+	if recs, ok := e.feed.tailSince(shard, epoch, since); ok {
+		return TailResult{
+			Shards:  e.nshards,
+			Epoch:   e.feed.epoch,
+			Seq:     since + uint64(len(recs)),
+			Records: recs,
+		}, nil
+	}
+	sh := e.shards[shard]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	seq := e.feed.next(shard) - 1
+	snap, err := e.shardSnapshotLocked(sh)
+	if err != nil {
+		return TailResult{}, err
+	}
+	return TailResult{Shards: e.nshards, Epoch: e.feed.epoch, Seq: seq, Snapshot: snap}, nil
+}
+
+// shardSnapshotLocked serializes sh's full state. Caller holds sh.mu (read
+// suffices: writers are excluded, so memory, journal, and feed agree). A
+// spilled shard is read from the Persister without faulting it in — it
+// accepts no writes while we hold the lock, so its durable state is its
+// state.
+func (e *Engine) shardSnapshotLocked(sh *shard) (*ShardSnapshot, error) {
+	var (
+		profs     []*profile.Profile
+		purchases map[string]map[string]bool
+		sells     map[string]int64
+	)
+	if sh.resident.Load() {
+		profs = make([]*profile.Profile, 0, len(sh.profiles))
+		for _, st := range sh.profiles {
+			profs = append(profs, st.prof)
+		}
+		purchases, sells = sh.purchases, sh.sells
+	} else {
+		data, err := e.persist.LoadShard(sh.id)
+		if err != nil {
+			return nil, fmt.Errorf("recommend: snapshotting spilled shard %d: %w", sh.id, err)
+		}
+		profs, purchases, sells = data.Profiles, data.Purchases, data.Sells
+	}
+	snap := &ShardSnapshot{Sells: make(map[string]int64, len(sells))}
+	snap.Profiles = make([][]byte, len(profs))
+	for i, p := range profs {
+		data, err := p.Marshal()
+		if err != nil {
+			return nil, fmt.Errorf("recommend: encoding profile %s for snapshot: %w", p.UserID, err)
+		}
+		snap.Profiles[i] = data
+	}
+	for user, set := range purchases {
+		for pid := range set {
+			snap.Purchases = append(snap.Purchases, PurchasePair{UserID: user, ProductID: pid})
+		}
+	}
+	for pid, total := range sells {
+		snap.Sells[pid] = total
+	}
+	return snap, nil
+}
+
+// applyJournalRecord applies one replicated mutation to shard, through the
+// same install paths local writes take (so it is journaled to this engine's
+// own Persister, indexed, and re-emitted on this engine's feed).
+func (e *Engine) applyJournalRecord(shard int, rec JournalRecord) error {
+	switch rec.Op {
+	case OpProfiles:
+		profs := make([]*profile.Profile, len(rec.Profiles))
+		for i, data := range rec.Profiles {
+			p, err := profile.Unmarshal(data)
+			if err != nil {
+				return fmt.Errorf("recommend: decoding replicated profile: %w", err)
+			}
+			if e.ShardOf(p.UserID) != shard {
+				return fmt.Errorf("%w: user %s", ErrShardMismatch, p.UserID)
+			}
+			profs[i] = p
+		}
+		return e.installShardProfiles(e.shards[shard], profs)
+	case OpPurchase:
+		if e.ShardOf(rec.UserID) != shard {
+			return fmt.Errorf("%w: user %s", ErrShardMismatch, rec.UserID)
+		}
+		return e.RecordPurchase(rec.UserID, rec.ProductID)
+	default:
+		return fmt.Errorf("recommend: unknown journal op %q", rec.Op)
+	}
+}
+
+// applyShardSnapshot replaces shard's entire state with snap: durable
+// buckets (Persister.SaveShard), shard maps, candidate-index postings, and
+// the served sell totals (adjusted by delta so other shards' contributions
+// are untouched).
+func (e *Engine) applyShardSnapshot(shard int, snap *ShardSnapshot) error {
+	if shard < 0 || shard >= e.nshards {
+		return fmt.Errorf("%w: %d of %d", ErrBadShard, shard, e.nshards)
+	}
+	newProfiles := make(map[string]*stored, len(snap.Profiles))
+	profs := make([]*profile.Profile, 0, len(snap.Profiles))
+	for _, data := range snap.Profiles {
+		p, err := profile.Unmarshal(data)
+		if err != nil {
+			return fmt.Errorf("recommend: decoding snapshot profile: %w", err)
+		}
+		if e.ShardOf(p.UserID) != shard {
+			return fmt.Errorf("%w: user %s", ErrShardMismatch, p.UserID)
+		}
+		newProfiles[p.UserID] = &stored{prof: p, sum: p.Summary()}
+		profs = append(profs, p)
+	}
+	newPurchases := make(map[string]map[string]bool)
+	for _, pp := range snap.Purchases {
+		set := newPurchases[pp.UserID]
+		if set == nil {
+			set = make(map[string]bool)
+			newPurchases[pp.UserID] = set
+		}
+		set[pp.ProductID] = true
+	}
+	newSells := make(map[string]int64, len(snap.Sells))
+	for pid, total := range snap.Sells {
+		newSells[pid] = total
+	}
+
+	sh := e.shards[shard]
+	if err := e.lockResidentW(sh); err != nil {
+		return err
+	}
+	if e.persist != nil {
+		data := ShardData{Profiles: profs, Purchases: newPurchases, Sells: newSells}
+		if err := e.persist.SaveShard(sh.id, data); err != nil {
+			sh.mu.Unlock()
+			return err
+		}
+	}
+	// Reconcile the candidate index: consumers gone from the shard lose
+	// their postings (an empty replacement summary removes without
+	// installing), everyone else transitions prev -> new.
+	changes := make([]postingChange, 0, len(newProfiles))
+	for id, old := range sh.profiles {
+		if _, still := newProfiles[id]; !still {
+			changes = append(changes, postingChange{prev: old.sum, sum: &profile.Summary{UserID: id}})
+		}
+	}
+	for _, st := range newProfiles {
+		var prev *profile.Summary
+		if old := sh.profiles[st.prof.UserID]; old != nil {
+			prev = old.sum
+		}
+		changes = append(changes, postingChange{prev: prev, sum: st.sum})
+	}
+	// Move the served totals by the attribution delta.
+	for pid, total := range newSells {
+		if d := total - sh.sells[pid]; d != 0 {
+			e.sellFor(pid).add(pid, d)
+		}
+	}
+	for pid, old := range sh.sells {
+		if _, still := newSells[pid]; !still {
+			e.sellFor(pid).add(pid, -old)
+		}
+	}
+	sh.profiles = newProfiles
+	sh.purchases = newPurchases
+	sh.sells = newSells
+	sh.gen.Add(1)
+	e.index.updateBatch(changes)
+	sh.mu.Unlock()
+	e.maybeEvict(sh)
+	return nil
+}
+
+// --- ownership and write routing ---
+
+// OwnerOf reports which of servers owns shard: the server every write for
+// the shard is routed to, and the one followers tail it from. Every server
+// must agree on the shard count for the map to be consistent.
+func OwnerOf(shard, servers int) int {
+	if servers <= 0 {
+		return 0
+	}
+	return shard % servers
+}
+
+// Writer is the community write surface: the subset of Engine the write
+// path needs, satisfied by both *Engine (local writes) and *Router
+// (ownership-routed writes), so the Buyer Agent Server does not care
+// whether it is the owner.
+type Writer interface {
+	SetProfile(p *profile.Profile) error
+	SetProfiles(ps []*profile.Profile) error
+	RecordPurchase(userID, productID string) error
+	RecordPurchaseAt(userID, productID string, at time.Time) error
+}
+
+var (
+	_ Writer = (*Engine)(nil)
+	_ Writer = (*Router)(nil)
+)
+
+// Router routes community writes to the shard owner's engine while reads
+// stay on the local engine. writers[i] is the write surface of server i
+// (the local engine for self, a remote forwarder for peers).
+type Router struct {
+	local   *Engine
+	self    int
+	writers []Writer
+}
+
+// NewRouter returns a write router for server self among len(writers)
+// servers. writers[self] may be nil; the local engine is used.
+func NewRouter(local *Engine, self int, writers []Writer) (*Router, error) {
+	if self < 0 || self >= len(writers) {
+		return nil, fmt.Errorf("recommend: router self %d out of %d servers", self, len(writers))
+	}
+	ws := make([]Writer, len(writers))
+	copy(ws, writers)
+	ws[self] = local
+	for i, w := range ws {
+		if w == nil {
+			return nil, fmt.Errorf("recommend: router writer %d is nil", i)
+		}
+	}
+	return &Router{local: local, self: self, writers: ws}, nil
+}
+
+func (r *Router) writerFor(userID string) Writer {
+	return r.writers[OwnerOf(r.local.ShardOf(userID), len(r.writers))]
+}
+
+// SetProfile installs the profile on the owning server.
+func (r *Router) SetProfile(p *profile.Profile) error {
+	return r.writerFor(p.UserID).SetProfile(p)
+}
+
+// SetProfiles bulk-installs profiles, grouped per owning server with
+// per-server order preserved.
+func (r *Router) SetProfiles(ps []*profile.Profile) error {
+	byServer := make([][]*profile.Profile, len(r.writers))
+	for _, p := range ps {
+		i := OwnerOf(r.local.ShardOf(p.UserID), len(r.writers))
+		byServer[i] = append(byServer[i], p)
+	}
+	for i, group := range byServer {
+		if len(group) == 0 {
+			continue
+		}
+		if err := r.writers[i].SetProfiles(group); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RecordPurchase records the purchase on the owning server.
+func (r *Router) RecordPurchase(userID, productID string) error {
+	return r.writerFor(userID).RecordPurchase(userID, productID)
+}
+
+// RecordPurchaseAt records the timestamped purchase on the owning server.
+func (r *Router) RecordPurchaseAt(userID, productID string, at time.Time) error {
+	return r.writerFor(userID).RecordPurchaseAt(userID, productID, at)
+}
+
+// --- the replicator ---
+
+// Peer is one remote server's journal-tail surface. LocalPeer adapts an
+// in-process engine; internal/replnet adapts a TCP peer over atp.
+type Peer interface {
+	JournalTail(ctx context.Context, shard int, epoch, since uint64) (TailResult, error)
+}
+
+// LocalPeer adapts an in-process Engine as a Peer (the platform.Config
+// single-process deployment of Fig 3.1).
+type LocalPeer struct{ Engine *Engine }
+
+// JournalTail implements Peer.
+func (p LocalPeer) JournalTail(_ context.Context, shard int, epoch, since uint64) (TailResult, error) {
+	return p.Engine.JournalTail(shard, epoch, since)
+}
+
+// ReplicatorOption configures a Replicator.
+type ReplicatorOption func(*Replicator)
+
+// WithPullInterval sets how often the background loop tails every owner
+// (default 100ms).
+func WithPullInterval(d time.Duration) ReplicatorOption {
+	return func(r *Replicator) {
+		if d > 0 {
+			r.interval = d
+		}
+	}
+}
+
+// replCursor is the follower's position in one shard's journal.
+type replCursor struct{ epoch, seq uint64 }
+
+// ShardReplication is one shard's replication status on this follower.
+type ShardReplication struct {
+	Shard, Owner int
+	Epoch        uint64 // owner feed epoch the cursor belongs to (0 = never synced)
+	AppliedSeq   uint64 // last journal record applied locally
+	OwnerSeq     uint64 // owner's seq as of the last successful pull
+	Records      uint64 // journal records applied since construction
+	Snapshots    uint64 // snapshot catch-ups since construction
+	LastError    string // most recent pull/apply error ("" when healthy)
+}
+
+// Lag is how many journal records this shard's replica was behind the
+// owner at the last successful pull.
+func (s ShardReplication) Lag() uint64 {
+	if s.OwnerSeq <= s.AppliedSeq {
+		return 0
+	}
+	return s.OwnerSeq - s.AppliedSeq
+}
+
+// ReplicationStats is a Replicator's view of every shard it follows.
+type ReplicationStats struct {
+	Self    int
+	Servers int
+	Shards  []ShardReplication // one entry per non-owned shard
+}
+
+// Lag sums the per-shard lags: total journal records this server's replicas
+// were behind their owners at the last pulls.
+func (st ReplicationStats) Lag() uint64 {
+	var total uint64
+	for _, s := range st.Shards {
+		total += s.Lag()
+	}
+	return total
+}
+
+// Replicator keeps one server's engine converged with the shards it does
+// not own by tailing each owner's journal. Construct with NewReplicator;
+// call Sync for a deterministic catch-up pass (tests, post-seed barriers)
+// or Start for the background loop, and Close when done.
+type Replicator struct {
+	e        *Engine
+	self     int
+	peers    []Peer
+	interval time.Duration
+
+	syncMu sync.Mutex // serializes passes (ticker vs explicit Sync)
+	mu     sync.Mutex // guards cursors and stats
+	curs   []replCursor
+	stats  map[int]*ShardReplication
+
+	startOnce sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewReplicator returns a replicator for server self among len(peers)
+// servers; peers[i] tails server i (peers[self] is ignored). The engine
+// must use the same shard count as every peer.
+func NewReplicator(e *Engine, self int, peers []Peer, opts ...ReplicatorOption) (*Replicator, error) {
+	if self < 0 || self >= len(peers) {
+		return nil, fmt.Errorf("recommend: replicator self %d out of %d servers", self, len(peers))
+	}
+	r := &Replicator{
+		e:        e,
+		self:     self,
+		peers:    append([]Peer(nil), peers...),
+		interval: 100 * time.Millisecond,
+		curs:     make([]replCursor, e.nshards),
+		stats:    make(map[int]*ShardReplication),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	for s := 0; s < e.nshards; s++ {
+		if owner := OwnerOf(s, len(peers)); owner != self {
+			if peers[owner] == nil {
+				return nil, fmt.Errorf("recommend: replicator has no peer for server %d (owner of shard %d)", owner, s)
+			}
+			r.stats[s] = &ShardReplication{Shard: s, Owner: owner}
+		}
+	}
+	return r, nil
+}
+
+// Sync performs one full catch-up pass over every non-owned shard and
+// returns the first error encountered (remaining shards are still pulled).
+// After a nil return, this engine has applied every record the owners had
+// journaled when the pass reached them.
+func (r *Replicator) Sync(ctx context.Context) error {
+	r.syncMu.Lock()
+	defer r.syncMu.Unlock()
+	var firstErr error
+	for s := 0; s < r.e.nshards; s++ {
+		owner := OwnerOf(s, len(r.peers))
+		if owner == r.self {
+			continue
+		}
+		if err := r.pullShard(ctx, s, owner); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// pullShard tails shard from owner once and applies what came back.
+func (r *Replicator) pullShard(ctx context.Context, shard, owner int) (err error) {
+	defer func() {
+		r.mu.Lock()
+		st := r.stats[shard]
+		if err != nil {
+			st.LastError = err.Error()
+		} else {
+			st.LastError = ""
+		}
+		r.mu.Unlock()
+	}()
+
+	r.mu.Lock()
+	cur := r.curs[shard]
+	r.mu.Unlock()
+	tr, err := r.peers[owner].JournalTail(ctx, shard, cur.epoch, cur.seq)
+	if err != nil {
+		return fmt.Errorf("recommend: tailing shard %d from server %d: %w", shard, owner, err)
+	}
+	if tr.Shards != r.e.nshards {
+		return fmt.Errorf("%w: owner has %d shards, follower %d", ErrShardMismatch, tr.Shards, r.e.nshards)
+	}
+	if tr.Snapshot != nil {
+		if err := r.e.applyShardSnapshot(shard, tr.Snapshot); err != nil {
+			return err
+		}
+		r.mu.Lock()
+		r.curs[shard] = replCursor{epoch: tr.Epoch, seq: tr.Seq}
+		st := r.stats[shard]
+		st.Epoch, st.AppliedSeq, st.OwnerSeq = tr.Epoch, tr.Seq, tr.Seq
+		st.Snapshots++
+		r.mu.Unlock()
+		return nil
+	}
+	seq := cur.seq
+	for _, rec := range tr.Records {
+		if rec.Seq != seq+1 {
+			// A hole means the tail and our cursor disagree; reset so the
+			// next pull falls back to snapshot catch-up.
+			r.mu.Lock()
+			r.curs[shard] = replCursor{}
+			r.mu.Unlock()
+			return fmt.Errorf("recommend: shard %d journal gap: have %d, next record %d", shard, seq, rec.Seq)
+		}
+		if err := r.e.applyJournalRecord(shard, rec); err != nil {
+			return err
+		}
+		seq = rec.Seq
+		r.mu.Lock()
+		r.curs[shard] = replCursor{epoch: tr.Epoch, seq: seq}
+		r.stats[shard].Records++
+		r.mu.Unlock()
+	}
+	r.mu.Lock()
+	r.curs[shard] = replCursor{epoch: tr.Epoch, seq: seq}
+	st := r.stats[shard]
+	st.Epoch, st.AppliedSeq, st.OwnerSeq = tr.Epoch, seq, tr.Seq
+	r.mu.Unlock()
+	return nil
+}
+
+// Start launches the background tail loop. It is idempotent.
+func (r *Replicator) Start() {
+	r.startOnce.Do(func() {
+		go func() {
+			defer close(r.done)
+			t := time.NewTicker(r.interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-r.stop:
+					return
+				case <-t.C:
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				r.Sync(ctx) // per-shard errors are kept in Stats
+				cancel()
+			}
+		}()
+	})
+}
+
+// Close stops the background loop (if started) and waits for it.
+func (r *Replicator) Close() error {
+	select {
+	case <-r.stop:
+	default:
+		close(r.stop)
+	}
+	r.startOnce.Do(func() { close(r.done) }) // never started: unblock the wait
+	<-r.done
+	return nil
+}
+
+// Stats reports per-shard replication status and lag, ordered by shard.
+func (r *Replicator) Stats() ReplicationStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := ReplicationStats{Self: r.self, Servers: len(r.peers)}
+	for s := 0; s < r.e.nshards; s++ {
+		if st, ok := r.stats[s]; ok {
+			out.Shards = append(out.Shards, *st)
+		}
+	}
+	return out
+}

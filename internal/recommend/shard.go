@@ -49,6 +49,7 @@ type shard struct {
 	mu        sync.RWMutex
 	profiles  map[string]*stored
 	purchases map[string]map[string]bool // user -> product set
+	sells     map[string]int64           // product -> sales by THIS shard's users
 
 	id         int         // position in Engine.shards, names persister buckets
 	resident   atomic.Bool // maps are in memory (always true without spilling)
@@ -63,6 +64,7 @@ func newShard(id int) *shard {
 		id:        id,
 		profiles:  make(map[string]*stored),
 		purchases: make(map[string]map[string]bool),
+		sells:     make(map[string]int64),
 	}
 	sh.resident.Store(true)
 	return sh
@@ -127,7 +129,11 @@ func newSellShard(id int) *sellShard {
 	return &sellShard{counts: make(map[string]*atomic.Int64), id: id}
 }
 
-func (ss *sellShard) bump(productID string) {
+func (ss *sellShard) bump(productID string) { ss.add(productID, 1) }
+
+// add moves the product's served count by delta (negative when a replica
+// snapshot shrinks a shard's attributed sells).
+func (ss *sellShard) add(productID string, delta int64) {
 	ss.mu.RLock()
 	c := ss.counts[productID]
 	ss.mu.RUnlock()
@@ -139,7 +145,7 @@ func (ss *sellShard) bump(productID string) {
 		}
 		ss.mu.Unlock()
 	}
-	c.Add(1)
+	c.Add(delta)
 }
 
 // each calls fn for every product with a positive count.

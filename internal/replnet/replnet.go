@@ -1,0 +1,267 @@
+// Package replnet bridges the recommendation engine's replication layer
+// (internal/recommend: Replicator, Router) onto the atp network transport,
+// so Buyer Agent Servers in different processes replicate shards and route
+// writes exactly like the in-process platform does with direct engine
+// calls. It owns the JSON wire shapes of the journal frame's
+// sub-operations; atp itself carries them as opaque payloads.
+//
+// Three pieces:
+//
+//   - Handler(engine) serves a server's journal surface: "tail" requests
+//     from followers, and forwarded writes ("set-profiles", "purchase")
+//     from peers that do not own the consumer's shard. Install it with
+//     atp.Server.SetJournalHandler.
+//   - Peer implements recommend.Peer over an atp.Client — the follower
+//     side of journal tailing.
+//   - Writer implements recommend.Writer over an atp.Client — the
+//     forwarding side of write routing (give it to recommend.NewRouter).
+package replnet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"agentrec/internal/atp"
+	"agentrec/internal/profile"
+	"agentrec/internal/recommend"
+)
+
+// Journal frame sub-operations.
+const (
+	kindTail        = "tail"
+	kindSetProfiles = "set-profiles"
+	kindPurchase    = "purchase"
+)
+
+// maxTailBytes bounds a tail reply's raw encoded size. The reply travels
+// as atp response.Data, which json.Marshal base64-encodes (4/3 expansion),
+// so the raw budget is three quarters of the frame cap minus envelope
+// slack — a reply at the bound still fits atp.MaxFrame after encoding.
+// Replies over the bound are trimmed to a prefix of the records — the
+// follower's cursor advances and the next pull continues — so a burst of
+// large journal records never wedges replication on frame size. A var so
+// tests can shrink it.
+var maxTailBytes = (atp.MaxFrame - (1 << 20)) / 4 * 3
+
+// maxForwardBytes bounds the profile payload of one forwarded write frame;
+// larger batches are split into several frames, in order.
+const maxForwardBytes = 4 << 20
+
+type tailRequest struct {
+	Shard int    `json:"shard"`
+	Epoch uint64 `json:"epoch"`
+	Since uint64 `json:"since"`
+}
+
+type setProfilesRequest struct {
+	Profiles [][]byte `json:"profiles"`
+}
+
+type purchaseRequest struct {
+	UserID    string     `json:"user"`
+	ProductID string     `json:"product"`
+	At        *time.Time `json:"at,omitempty"` // nil: untimestamped RecordPurchase
+}
+
+// Handler returns the journal surface for e, ready for
+// atp.Server.SetJournalHandler. self and servers describe this server's
+// position in the replicated deployment: forwarded writes for consumers
+// whose shard this server does not own are rejected loudly, so peer lists
+// that disagree on order (each side computing a different ownership map)
+// fail on the first routed write instead of silently diverging replicas.
+// Pass servers <= 0 to skip the ownership check (single-surface setups).
+func Handler(e *recommend.Engine, self, servers int) atp.JournalHandler {
+	checkOwned := func(userID string) error {
+		if servers <= 0 {
+			return nil
+		}
+		if owner := recommend.OwnerOf(e.ShardOf(userID), servers); owner != self {
+			return fmt.Errorf("replnet: write for %s routed to server %d but shard %d is owned by server %d — do the -buyer-peers lists agree on order?",
+				userID, self, e.ShardOf(userID), owner)
+		}
+		return nil
+	}
+	return func(kind string, data []byte) ([]byte, error) {
+		switch kind {
+		case kindTail:
+			var req tailRequest
+			if err := json.Unmarshal(data, &req); err != nil {
+				return nil, fmt.Errorf("replnet: decoding tail request: %w", err)
+			}
+			tr, err := e.JournalTail(req.Shard, req.Epoch, req.Since)
+			if err != nil {
+				return nil, err
+			}
+			return marshalTailBounded(tr)
+		case kindSetProfiles:
+			var req setProfilesRequest
+			if err := json.Unmarshal(data, &req); err != nil {
+				return nil, fmt.Errorf("replnet: decoding profile write: %w", err)
+			}
+			profs := make([]*profile.Profile, len(req.Profiles))
+			for i, enc := range req.Profiles {
+				p, err := profile.Unmarshal(enc)
+				if err != nil {
+					return nil, fmt.Errorf("replnet: decoding forwarded profile: %w", err)
+				}
+				if err := checkOwned(p.UserID); err != nil {
+					return nil, err
+				}
+				profs[i] = p
+			}
+			return nil, e.SetProfiles(profs)
+		case kindPurchase:
+			var req purchaseRequest
+			if err := json.Unmarshal(data, &req); err != nil {
+				return nil, fmt.Errorf("replnet: decoding purchase write: %w", err)
+			}
+			if err := checkOwned(req.UserID); err != nil {
+				return nil, err
+			}
+			if req.At != nil {
+				return nil, e.RecordPurchaseAt(req.UserID, req.ProductID, *req.At)
+			}
+			return nil, e.RecordPurchase(req.UserID, req.ProductID)
+		default:
+			return nil, fmt.Errorf("replnet: unknown journal kind %q", kind)
+		}
+	}
+}
+
+// marshalTailBounded encodes tr, trimming the served records to a prefix
+// that fits maxTailBytes (the follower pulls the rest next round). A
+// snapshot cannot be served as a prefix: an oversized one is a hard,
+// descriptive error — the shard needs a smaller community, more shards, or
+// the chunked catch-up transfer ROADMAP.md tracks.
+func marshalTailBounded(tr recommend.TailResult) ([]byte, error) {
+	out, err := json.Marshal(tr)
+	if err != nil {
+		return nil, fmt.Errorf("replnet: encoding tail result: %w", err)
+	}
+	for len(out) > maxTailBytes {
+		if tr.Snapshot != nil {
+			return nil, fmt.Errorf("replnet: shard %d snapshot is %d encoded bytes, over the %d frame budget; catch-up for this shard cannot cross atp (raise the shard count so shards shrink, or keep followers inside the journal tail)",
+				shardOf(tr), len(out), maxTailBytes)
+		}
+		if len(tr.Records) <= 1 {
+			return nil, fmt.Errorf("replnet: single journal record is %d encoded bytes, over the %d frame budget", len(out), maxTailBytes)
+		}
+		tr.Records = tr.Records[:len(tr.Records)/2]
+		tr.Seq = tr.Records[len(tr.Records)-1].Seq
+		if out, err = json.Marshal(tr); err != nil {
+			return nil, fmt.Errorf("replnet: encoding trimmed tail result: %w", err)
+		}
+	}
+	return out, nil
+}
+
+func shardOf(tr recommend.TailResult) int {
+	if len(tr.Records) > 0 {
+		return tr.Records[0].Shard
+	}
+	return -1
+}
+
+// Peer tails a remote server's journal over atp. It implements
+// recommend.Peer.
+type Peer struct {
+	client *atp.Client
+	dest   string
+}
+
+// NewPeer returns a Peer tailing the ATP server at dest through client.
+func NewPeer(client *atp.Client, dest string) *Peer {
+	return &Peer{client: client, dest: dest}
+}
+
+// JournalTail implements recommend.Peer.
+func (p *Peer) JournalTail(ctx context.Context, shard int, epoch, since uint64) (recommend.TailResult, error) {
+	req, err := json.Marshal(tailRequest{Shard: shard, Epoch: epoch, Since: since})
+	if err != nil {
+		return recommend.TailResult{}, fmt.Errorf("replnet: encoding tail request: %w", err)
+	}
+	out, err := p.client.Journal(ctx, p.dest, kindTail, req)
+	if err != nil {
+		return recommend.TailResult{}, err
+	}
+	var tr recommend.TailResult
+	if err := json.Unmarshal(out, &tr); err != nil {
+		return recommend.TailResult{}, fmt.Errorf("replnet: decoding tail result from %s: %w", p.dest, err)
+	}
+	return tr, nil
+}
+
+var _ recommend.Peer = (*Peer)(nil)
+
+// Writer forwards community writes to the shard owner's server over atp.
+// It implements recommend.Writer, so it slots into recommend.NewRouter as
+// the write surface of a remote peer.
+type Writer struct {
+	client  *atp.Client
+	dest    string
+	timeout time.Duration
+}
+
+// NewWriter returns a Writer forwarding to the ATP server at dest.
+func NewWriter(client *atp.Client, dest string) *Writer {
+	return &Writer{client: client, dest: dest, timeout: 30 * time.Second}
+}
+
+func (w *Writer) send(kind string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("replnet: encoding %s: %w", kind, err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), w.timeout)
+	defer cancel()
+	_, err = w.client.Journal(ctx, w.dest, kind, data)
+	return err
+}
+
+// SetProfile implements recommend.Writer.
+func (w *Writer) SetProfile(p *profile.Profile) error {
+	return w.SetProfiles([]*profile.Profile{p})
+}
+
+// SetProfiles implements recommend.Writer. Large batches are forwarded as
+// several in-order frames so no single frame outgrows the transport.
+func (w *Writer) SetProfiles(ps []*profile.Profile) error {
+	var encoded [][]byte
+	size := 0
+	flush := func() error {
+		if len(encoded) == 0 {
+			return nil
+		}
+		err := w.send(kindSetProfiles, setProfilesRequest{Profiles: encoded})
+		encoded, size = nil, 0
+		return err
+	}
+	for _, p := range ps {
+		data, err := p.Marshal()
+		if err != nil {
+			return fmt.Errorf("replnet: encoding profile %s: %w", p.UserID, err)
+		}
+		if len(encoded) > 0 && size+len(data) > maxForwardBytes {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		encoded = append(encoded, data)
+		size += len(data)
+	}
+	return flush()
+}
+
+// RecordPurchase implements recommend.Writer.
+func (w *Writer) RecordPurchase(userID, productID string) error {
+	return w.send(kindPurchase, purchaseRequest{UserID: userID, ProductID: productID})
+}
+
+// RecordPurchaseAt implements recommend.Writer.
+func (w *Writer) RecordPurchaseAt(userID, productID string, at time.Time) error {
+	return w.send(kindPurchase, purchaseRequest{UserID: userID, ProductID: productID, At: &at})
+}
+
+var _ recommend.Writer = (*Writer)(nil)
