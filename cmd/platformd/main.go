@@ -107,6 +107,11 @@ func main() {
 }
 
 func run(markets int, coordAddr, marketIP string, basePort int, buyerAddr, httpAddr, key, stateDir string, shards int, repl *replConfig, verbose bool) error {
+	// ctx is the process lifecycle: cancelled on shutdown so in-flight
+	// forwarded writes abort instead of stalling on their send timeout.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
 	signer := security.NewSigner([]byte(key))
 	client := atp.NewClient(signer)
 	tracer := trace.New()
@@ -213,7 +218,7 @@ func run(markets int, coordAddr, marketIP string, basePort int, buyerAddr, httpA
 			if i == repl.self {
 				continue
 			}
-			writers[i] = replnet.NewWriter(client, addr)
+			writers[i] = replnet.NewWriter(ctx, client, addr)
 			peers[i] = replnet.NewPeer(client, addr)
 		}
 		router, err := recommend.NewRouter(engine, repl.self, writers)
@@ -255,9 +260,10 @@ func run(markets int, coordAddr, marketIP string, basePort int, buyerAddr, httpA
 	case sig := <-stop:
 		log.Printf("received %v, shutting down", sig)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	defer cancel()
-	return httpServer.Shutdown(ctx)
+	cancel() // abort in-flight forwarded writes before draining HTTP
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shutCancel()
+	return httpServer.Shutdown(shutCtx)
 }
 
 // watchTrace tails the workflow recorder, printing each step once.

@@ -226,6 +226,18 @@ func New(cfg Config) (*Platform, error) {
 	return p, nil
 }
 
+// ReplicationStats reports every buyer server's per-shard replication
+// status — applied vs owner sequence, lag, snapshot/page counts, last
+// errors — the signal an operator needs before trusting a server's local
+// reads. Empty without ReplicateEngines.
+func (p *Platform) ReplicationStats() []recommend.ReplicationStats {
+	out := make([]recommend.ReplicationStats, 0, len(p.Replicators))
+	for _, r := range p.Replicators {
+		out = append(out, r.Stats())
+	}
+	return out
+}
+
 // SyncReplicas runs one deterministic catch-up pass on every replicator:
 // after a nil return, every buyer server's engine has applied all writes
 // the owners had journaled when the pass began. A no-op without

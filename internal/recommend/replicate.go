@@ -76,16 +76,26 @@ type ShardSnapshot struct {
 }
 
 // TailResult is one answer to a journal-tail request. Exactly one of
-// Records and Snapshot is meaningful: Records when the owner could serve
-// the cursor from its retained tail (possibly empty when the follower is
-// caught up), Snapshot when the follower must catch up wholesale. Seq is
+// Records, Snapshot, and Paged is meaningful: Records when the owner could
+// serve the cursor from its retained tail (possibly empty when the follower
+// is caught up), Snapshot when the follower must catch up wholesale, Paged
+// when a transport's frame budget could not carry the reply inline. Seq is
 // the sequence number the follower's cursor should hold after applying.
+// Head is the owner's feed head (the seq its next record will extend) when
+// the reply was built; it can run past Seq when the transport trimmed the
+// served records, which is exactly what makes reported lag real.
 type TailResult struct {
 	Shards   int             `json:"shards"` // owner's shard count, for config-drift detection
 	Epoch    uint64          `json:"epoch"`
 	Seq      uint64          `json:"seq"`
+	Head     uint64          `json:"head"` // owner's feed head (next-1) at reply time
 	Records  []JournalRecord `json:"records,omitempty"`
 	Snapshot *ShardSnapshot  `json:"snapshot,omitempty"`
+	// Paged is set by a transport bridge (internal/replnet) in place of a
+	// snapshot its frame budget cannot carry: the follower must transfer
+	// the snapshot in pages (Peer.SnapshotPage), starting from the cut
+	// pinned at (Epoch, Seq).
+	Paged bool `json:"paged,omitempty"`
 }
 
 // DefaultJournalTail is how many journal records per shard the feed retains
@@ -163,23 +173,25 @@ func (f *journalFeed) next(shard int) uint64 {
 	return fs.first + uint64(len(fs.records))
 }
 
-// tailSince returns a copy of shard's records after seq since, or ok=false
-// when the cursor cannot be served from the retained tail (epoch mismatch,
-// pruned history, or a cursor from a different history running ahead).
-func (f *journalFeed) tailSince(shard int, epoch, since uint64) ([]JournalRecord, bool) {
-	if epoch != f.epoch {
-		return nil, false
-	}
+// tailSince returns a copy of shard's records after seq since plus the
+// shard's feed head (next-1), or ok=false when the cursor cannot be served
+// from the retained tail (epoch mismatch, pruned history, or a cursor from
+// a different history running ahead).
+func (f *journalFeed) tailSince(shard int, epoch, since uint64) (recs []JournalRecord, head uint64, ok bool) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	fs := &f.shards[shard]
 	next := fs.first + uint64(len(fs.records))
+	head = next - 1
+	if epoch != f.epoch {
+		return nil, head, false
+	}
 	if since+1 < fs.first || since+1 > next {
-		return nil, false
+		return nil, head, false
 	}
 	out := make([]JournalRecord, next-(since+1))
 	copy(out, fs.records[since+1-fs.first:])
-	return out, true
+	return out, head, true
 }
 
 // maxFeedRecordBytes bounds the encoded profile payload of one OpProfiles
@@ -236,11 +248,12 @@ func (e *Engine) JournalTail(shard int, epoch, since uint64) (TailResult, error)
 	if shard < 0 || shard >= e.nshards {
 		return TailResult{}, fmt.Errorf("%w: %d of %d", ErrBadShard, shard, e.nshards)
 	}
-	if recs, ok := e.feed.tailSince(shard, epoch, since); ok {
+	if recs, head, ok := e.feed.tailSince(shard, epoch, since); ok {
 		return TailResult{
 			Shards:  e.nshards,
 			Epoch:   e.feed.epoch,
 			Seq:     since + uint64(len(recs)),
+			Head:    head,
 			Records: recs,
 		}, nil
 	}
@@ -252,32 +265,36 @@ func (e *Engine) JournalTail(shard int, epoch, since uint64) (TailResult, error)
 	if err != nil {
 		return TailResult{}, err
 	}
-	return TailResult{Shards: e.nshards, Epoch: e.feed.epoch, Seq: seq, Snapshot: snap}, nil
+	return TailResult{Shards: e.nshards, Epoch: e.feed.epoch, Seq: seq, Head: seq, Snapshot: snap}, nil
 }
 
-// shardSnapshotLocked serializes sh's full state. Caller holds sh.mu (read
-// suffices: writers are excluded, so memory, journal, and feed agree). A
-// spilled shard is read from the Persister without faulting it in — it
-// accepts no writes while we hold the lock, so its durable state is its
-// state.
-func (e *Engine) shardSnapshotLocked(sh *shard) (*ShardSnapshot, error) {
-	var (
-		profs     []*profile.Profile
-		purchases map[string]map[string]bool
-		sells     map[string]int64
-	)
+// shardStateLocked returns sh's live state: the in-memory maps for a
+// resident shard, the Persister's recovered state for a spilled one — a
+// spilled shard accepts no writes while the lock is held, so its durable
+// state is its state. Caller holds sh.mu (read suffices: writers are
+// excluded, so memory, journal, and feed agree); the returned maps must not
+// be mutated.
+func (e *Engine) shardStateLocked(sh *shard) (profs []*profile.Profile, purchases map[string]map[string]bool, sells map[string]int64, err error) {
 	if sh.resident.Load() {
 		profs = make([]*profile.Profile, 0, len(sh.profiles))
 		for _, st := range sh.profiles {
 			profs = append(profs, st.prof)
 		}
-		purchases, sells = sh.purchases, sh.sells
-	} else {
-		data, err := e.persist.LoadShard(sh.id)
-		if err != nil {
-			return nil, fmt.Errorf("recommend: snapshotting spilled shard %d: %w", sh.id, err)
-		}
-		profs, purchases, sells = data.Profiles, data.Purchases, data.Sells
+		return profs, sh.purchases, sh.sells, nil
+	}
+	data, err := e.persist.LoadShard(sh.id)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("recommend: reading spilled shard %d state: %w", sh.id, err)
+	}
+	return data.Profiles, data.Purchases, data.Sells, nil
+}
+
+// shardSnapshotLocked serializes sh's full state. Caller holds sh.mu; see
+// shardStateLocked for the residency contract.
+func (e *Engine) shardSnapshotLocked(sh *shard) (*ShardSnapshot, error) {
+	profs, purchases, sells, err := e.shardStateLocked(sh)
+	if err != nil {
+		return nil, err
 	}
 	snap := &ShardSnapshot{Sells: make(map[string]int64, len(sells))}
 	snap.Profiles = make([][]byte, len(profs))
@@ -506,17 +523,27 @@ func (r *Router) RecordPurchaseAt(userID, productID string, at time.Time) error 
 
 // Peer is one remote server's journal-tail surface. LocalPeer adapts an
 // in-process engine; internal/replnet adapts a TCP peer over atp.
+// SnapshotPage is the paged catch-up path: only a transport that answered a
+// tail request with TailResult.Paged ever receives it.
 type Peer interface {
 	JournalTail(ctx context.Context, shard int, epoch, since uint64) (TailResult, error)
+	SnapshotPage(ctx context.Context, shard int, epoch, seq uint64, token string) (SnapshotPage, error)
 }
 
 // LocalPeer adapts an in-process Engine as a Peer (the platform.Config
-// single-process deployment of Fig 3.1).
+// single-process deployment of Fig 3.1). It never sets TailResult.Paged —
+// there is no frame budget in process — so its SnapshotPage exists only to
+// satisfy the interface.
 type LocalPeer struct{ Engine *Engine }
 
 // JournalTail implements Peer.
 func (p LocalPeer) JournalTail(_ context.Context, shard int, epoch, since uint64) (TailResult, error) {
 	return p.Engine.JournalTail(shard, epoch, since)
+}
+
+// SnapshotPage implements Peer.
+func (p LocalPeer) SnapshotPage(_ context.Context, shard int, epoch, seq uint64, token string) (SnapshotPage, error) {
+	return p.Engine.SnapshotPage(shard, epoch, seq, token, 0)
 }
 
 // ReplicatorOption configures a Replicator.
@@ -540,9 +567,11 @@ type ShardReplication struct {
 	Shard, Owner int
 	Epoch        uint64 // owner feed epoch the cursor belongs to (0 = never synced)
 	AppliedSeq   uint64 // last journal record applied locally
-	OwnerSeq     uint64 // owner's seq as of the last successful pull
+	OwnerSeq     uint64 // owner's feed head as of the last successful pull
 	Records      uint64 // journal records applied since construction
 	Snapshots    uint64 // snapshot catch-ups since construction
+	Pages        uint64 // snapshot pages transferred (paged catch-ups only)
+	Restarts     uint64 // paged transfers restarted because the owner's cut moved
 	LastError    string // most recent pull/apply error ("" when healthy)
 }
 
@@ -583,9 +612,10 @@ type Replicator struct {
 	interval time.Duration
 
 	syncMu sync.Mutex // serializes passes (ticker vs explicit Sync)
-	mu     sync.Mutex // guards cursors and stats
+	mu     sync.Mutex // guards cursors, stats, and saved transfers
 	curs   []replCursor
 	stats  map[int]*ShardReplication
+	xfers  map[int]*pagedTransfer // in-flight paged transfers, resumable across pulls
 
 	startOnce sync.Once
 	stop      chan struct{}
@@ -606,6 +636,7 @@ func NewReplicator(e *Engine, self int, peers []Peer, opts ...ReplicatorOption) 
 		interval: 100 * time.Millisecond,
 		curs:     make([]replCursor, e.nshards),
 		stats:    make(map[int]*ShardReplication),
+		xfers:    make(map[int]*pagedTransfer),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
@@ -666,6 +697,13 @@ func (r *Replicator) pullShard(ctx context.Context, shard, owner int) (err error
 	if tr.Shards != r.e.nshards {
 		return fmt.Errorf("%w: owner has %d shards, follower %d", ErrShardMismatch, tr.Shards, r.e.nshards)
 	}
+	if tr.Paged {
+		return r.pullShardPaged(ctx, shard, owner, tr.Epoch, tr.Seq)
+	}
+	// Any non-paged reply obsoletes a saved partial transfer for the shard.
+	r.mu.Lock()
+	delete(r.xfers, shard)
+	r.mu.Unlock()
 	if tr.Snapshot != nil {
 		if err := r.e.applyShardSnapshot(shard, tr.Snapshot); err != nil {
 			return err
@@ -673,7 +711,7 @@ func (r *Replicator) pullShard(ctx context.Context, shard, owner int) (err error
 		r.mu.Lock()
 		r.curs[shard] = replCursor{epoch: tr.Epoch, seq: tr.Seq}
 		st := r.stats[shard]
-		st.Epoch, st.AppliedSeq, st.OwnerSeq = tr.Epoch, tr.Seq, tr.Seq
+		st.Epoch, st.AppliedSeq, st.OwnerSeq = tr.Epoch, tr.Seq, headOf(tr, tr.Seq)
 		st.Snapshots++
 		r.mu.Unlock()
 		return nil
@@ -700,7 +738,114 @@ func (r *Replicator) pullShard(ctx context.Context, shard, owner int) (err error
 	r.mu.Lock()
 	r.curs[shard] = replCursor{epoch: tr.Epoch, seq: seq}
 	st := r.stats[shard]
-	st.Epoch, st.AppliedSeq, st.OwnerSeq = tr.Epoch, seq, tr.Seq
+	// OwnerSeq is the owner's feed head, not the reply's last seq: a reply
+	// the transport trimmed to a prefix leaves the follower genuinely
+	// behind, and Lag() must say so.
+	st.Epoch, st.AppliedSeq, st.OwnerSeq = tr.Epoch, seq, headOf(tr, seq)
+	r.mu.Unlock()
+	return nil
+}
+
+// headOf is the owner's feed head carried in the reply, clamped so lag can
+// never go negative against the sequence the follower just applied to.
+func headOf(tr TailResult, seq uint64) uint64 {
+	if tr.Head < seq {
+		return seq
+	}
+	return tr.Head
+}
+
+// noteOwnerHead advances the shard's observed owner head without touching
+// the applied cursor, so Lag() is real while a multi-pull paged bootstrap
+// is still in flight (the follower is maximally behind exactly then).
+// Caller holds r.mu.
+func (r *Replicator) noteOwnerHead(shard int, head uint64) {
+	if st := r.stats[shard]; st.OwnerSeq < head {
+		st.OwnerSeq = head
+	}
+}
+
+// maxPagedRestarts bounds how many times one pullShardPaged call lets the
+// owner restart the transfer (the cut moves whenever the shard takes a
+// write mid-transfer). Past the bound the pull reports an error and the
+// next Sync tries again — a hot shard makes progress once its writes pause
+// for one transfer, and the error keeps the stall visible in Stats.
+const maxPagedRestarts = 8
+
+// pagedTransfer is the saved progress of one interrupted paged transfer:
+// the pin it runs under, the continuation token to ask for next, and the
+// pages accumulated so far. Saving it across pulls means a bootstrap too
+// large for one pull's context (the background loop bounds each Sync) makes
+// forward progress every tick instead of re-downloading from scratch; the
+// pin check keeps resumption exact — if the owner's cut moved meanwhile,
+// the next pull's marker carries a different pin and the saved transfer is
+// discarded.
+type pagedTransfer struct {
+	epoch, seq uint64
+	token      string
+	asm        snapshotAssembler
+}
+
+// pullShardPaged transfers shard's snapshot from owner in bounded pages
+// pinned at (epoch, seq), buffering them and applying the reassembled
+// snapshot wholesale. A page carrying a different (epoch, seq) than
+// requested is the first page of a transfer the owner restarted because the
+// pinned cut was gone; the buffered pages are discarded and accumulation
+// starts over at the new pin.
+func (r *Replicator) pullShardPaged(ctx context.Context, shard, owner int, epoch, seq uint64) error {
+	// Resume the saved transfer when the owner's pin has not moved since
+	// the pull that was interrupted.
+	var asm snapshotAssembler
+	token := ""
+	r.mu.Lock()
+	if x := r.xfers[shard]; x != nil && x.epoch == epoch && x.seq == seq {
+		asm, token = x.asm, x.token
+	}
+	delete(r.xfers, shard)
+	r.noteOwnerHead(shard, seq)
+	r.mu.Unlock()
+	restarts := 0
+	for {
+		pg, err := r.peers[owner].SnapshotPage(ctx, shard, epoch, seq, token)
+		if err != nil {
+			// Save progress: if the pin is still live on the next pull, the
+			// transfer resumes at this token instead of starting over.
+			r.mu.Lock()
+			r.xfers[shard] = &pagedTransfer{epoch: epoch, seq: seq, token: token, asm: asm}
+			r.mu.Unlock()
+			return fmt.Errorf("recommend: paging shard %d snapshot from server %d: %w", shard, owner, err)
+		}
+		if pg.Shards != r.e.nshards {
+			return fmt.Errorf("%w: owner has %d shards, follower %d", ErrShardMismatch, pg.Shards, r.e.nshards)
+		}
+		if pg.Epoch != epoch || pg.Seq != seq {
+			if restarts++; restarts > maxPagedRestarts {
+				return fmt.Errorf("recommend: shard %d snapshot cut moved %d times mid-transfer (hot shard); retrying on the next pull", shard, restarts)
+			}
+			epoch, seq, token = pg.Epoch, pg.Seq, ""
+			asm.reset()
+			r.mu.Lock()
+			r.stats[shard].Restarts++
+			r.noteOwnerHead(shard, seq)
+			r.mu.Unlock()
+		}
+		asm.add(pg)
+		r.mu.Lock()
+		r.stats[shard].Pages++
+		r.mu.Unlock()
+		if pg.Next == "" {
+			break
+		}
+		token = pg.Next
+	}
+	if err := r.e.applyShardSnapshot(shard, asm.snapshot()); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.curs[shard] = replCursor{epoch: epoch, seq: seq}
+	st := r.stats[shard]
+	st.Epoch, st.AppliedSeq, st.OwnerSeq = epoch, seq, seq
+	st.Snapshots++
 	r.mu.Unlock()
 	return nil
 }

@@ -1,0 +1,270 @@
+package recommend
+
+// Paged snapshot catch-up. A whole-shard ShardSnapshot can outgrow any
+// transport frame budget, so a cold follower of a large shard must be able
+// to transfer the snapshot in bounded pages instead of one reply. The
+// protocol is stateless on the owner:
+//
+//   - The cut is pinned to one (epoch, seq): the follower's first page
+//     request names the pin it was handed (or a stale one), and every page
+//     is cut from live state under the shard's read lock only after
+//     verifying the feed still sits exactly at that pin. Any write moves
+//     the seq, so an unchanged pin proves the state is the same cut.
+//   - Pages walk the shard in a stable key order — profiles ascending by
+//     consumer id, then purchases ascending by (consumer, product), then
+//     sell totals ascending by product — so a continuation token (an opaque
+//     (section, start-key) cursor) names an exact resume point.
+//   - If the pin is gone (the shard mutated mid-transfer, or the owner
+//     restarted and regenerated its feed epoch), the owner restarts the
+//     transfer: it re-pins at its current cut and serves the first page of
+//     the new transfer. The follower detects the changed (epoch, seq),
+//     discards the pages it buffered, and accumulates afresh.
+//
+// The follower side lives in Replicator.pullShardPaged; the transport
+// bridge (the "snap-page" journal sub-operation and the per-page byte
+// budget) in internal/replnet.
+
+import (
+	"encoding/base64"
+	"fmt"
+	"sort"
+	"strings"
+
+	"agentrec/internal/profile"
+)
+
+// SellCount is one product's sell total attributed to the paged shard, the
+// ordered-page form of ShardSnapshot.Sells.
+type SellCount struct {
+	ProductID string `json:"product"`
+	Total     int64  `json:"total"`
+}
+
+// SnapshotPage is one page of a paged shard-snapshot transfer. Every page
+// carries the (Epoch, Seq) pin of the cut it belongs to; a page whose pin
+// differs from the one the follower requested is the first page of a
+// restarted transfer. Next is the continuation token for the following
+// page, opaque to the follower; empty means this page completes the
+// snapshot.
+type SnapshotPage struct {
+	Shards    int            `json:"shards"` // owner's shard count, for config-drift detection
+	Epoch     uint64         `json:"epoch"`
+	Seq       uint64         `json:"seq"`
+	Profiles  [][]byte       `json:"profiles,omitempty"` // marshaled, ascending consumer id
+	Purchases []PurchasePair `json:"purchases,omitempty"`
+	Sells     []SellCount    `json:"sells,omitempty"`
+	Next      string         `json:"next,omitempty"`
+}
+
+// Page sections, in transfer order.
+const (
+	pageSecProfiles  = "p"
+	pageSecPurchases = "u"
+	pageSecSells     = "s"
+)
+
+// encodePageToken builds the opaque continuation token: the section and the
+// key the next page starts at (inclusive), base64 so the NUL separator in
+// purchase keys survives any textual transport.
+func encodePageToken(section, startKey string) string {
+	return base64.RawURLEncoding.EncodeToString([]byte(section + "\x00" + startKey))
+}
+
+// decodePageToken parses a continuation token. The empty token means the
+// start of the transfer.
+func decodePageToken(token string) (section, startKey string, err error) {
+	if token == "" {
+		return pageSecProfiles, "", nil
+	}
+	raw, err := base64.RawURLEncoding.DecodeString(token)
+	if err != nil {
+		return "", "", fmt.Errorf("recommend: malformed snapshot page token: %w", err)
+	}
+	section, startKey, ok := strings.Cut(string(raw), "\x00")
+	if !ok || (section != pageSecProfiles && section != pageSecPurchases && section != pageSecSells) {
+		return "", "", fmt.Errorf("recommend: malformed snapshot page token %q", token)
+	}
+	return section, startKey, nil
+}
+
+// Per-entry size estimates for the page budget, matching the JSON wire
+// encoding closely enough that a page at the budget still fits the caller's
+// frame: a marshaled profile travels base64-encoded inside the page JSON
+// (4/3 expansion plus quotes, and base64 output never needs escaping),
+// purchase pairs and sell counts as small objects with fixed field names
+// whose id strings are charged at their escaped length.
+func profileEntryCost(encLen int) int { return (encLen+2)/3*4 + 4 }
+func purchaseEntryCost(p PurchasePair) int {
+	return jsonStringCost(p.UserID) + jsonStringCost(p.ProductID) + 24
+}
+func sellEntryCost(pid string) int { return jsonStringCost(pid) + 40 }
+
+// jsonStringCost is the encoded length of s inside a JSON string: ids are
+// not guaranteed printable, and an estimate that ignored escaping could
+// build a page up to 6x its budget — enough to breach the transport's hard
+// frame cap, the exact wedge paging exists to remove.
+func jsonStringCost(s string) int {
+	n := 0
+	for i := 0; i < len(s); i++ {
+		// U+2028/U+2029 (E2 80 A8/A9) also encode as \u202X: 6 bytes for 3.
+		if s[i] == 0xE2 && i+2 < len(s) && s[i+1] == 0x80 && (s[i+2] == 0xA8 || s[i+2] == 0xA9) {
+			n += 6
+			i += 2
+			continue
+		}
+		switch c := s[i]; {
+		case c == '"' || c == '\\':
+			n += 2
+		case c < 0x20, c == '<', c == '>', c == '&': // \u00XX (json HTML-escapes <>& too)
+			n += 6
+		default:
+			n++
+		}
+	}
+	return n
+}
+
+// SnapshotPage serves one page of shard's snapshot for the cut pinned at
+// (epoch, seq); token resumes a transfer in flight (empty: from the start).
+// maxBytes bounds the page's estimated encoded size (<= 0 for a default);
+// a single entry larger than the whole budget is served as a page of its
+// own rather than erroring, leaving the transport's hard frame cap as the
+// only real ceiling. If the pin no longer matches the owner's live state
+// the transfer restarts: the reply is the first page of a fresh cut, its
+// changed (Epoch, Seq) telling the follower to discard what it buffered.
+// A spilled shard is paged from the Persister without faulting it in —
+// note that costs one full LoadShard per page while the lock is held;
+// followers of routinely-spilled large shards should raise the resident
+// cap on the owner (paging straight from the Persister's ordered buckets
+// is the eventual fix).
+func (e *Engine) SnapshotPage(shard int, epoch, seq uint64, token string, maxBytes int) (SnapshotPage, error) {
+	if e.feed == nil {
+		return SnapshotPage{}, ErrNoJournalFeed
+	}
+	if shard < 0 || shard >= e.nshards {
+		return SnapshotPage{}, fmt.Errorf("%w: %d of %d", ErrBadShard, shard, e.nshards)
+	}
+	if maxBytes <= 0 {
+		maxBytes = maxFeedRecordBytes
+	}
+	sh := e.shards[shard]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if cur := e.feed.next(shard) - 1; epoch != e.feed.epoch || seq != cur {
+		// The pinned cut is gone: the shard mutated since the pin (every
+		// write bumps the seq) or the owner restarted (fresh epoch).
+		// Restart the transfer at the current cut.
+		epoch, seq, token = e.feed.epoch, cur, ""
+	}
+	section, startKey, err := decodePageToken(token)
+	if err != nil {
+		return SnapshotPage{}, err
+	}
+	profs, purchases, sells, err := e.shardStateLocked(sh)
+	if err != nil {
+		return SnapshotPage{}, err
+	}
+
+	pg := SnapshotPage{Shards: e.nshards, Epoch: epoch, Seq: seq}
+	used := 0
+	// fits reports whether an entry of the given cost may join the page,
+	// closing the page at next (section, key) when it may not. A lone
+	// oversized entry is always admitted.
+	fits := func(cost int, sec, key string) bool {
+		if used > 0 && used+cost > maxBytes {
+			pg.Next = encodePageToken(sec, key)
+			return false
+		}
+		used += cost
+		return true
+	}
+
+	if section == pageSecProfiles {
+		ids := make([]string, 0, len(profs))
+		byID := make(map[string]*profile.Profile, len(profs))
+		for _, p := range profs {
+			if p.UserID < startKey {
+				continue
+			}
+			ids = append(ids, p.UserID)
+			byID[p.UserID] = p
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			// Marshal lazily: once the page closes, the remaining profiles
+			// (potentially the whole tail of a large shard) are never
+			// encoded on this request.
+			enc, err := byID[id].Marshal()
+			if err != nil {
+				return SnapshotPage{}, fmt.Errorf("recommend: encoding profile %s for snapshot page: %w", id, err)
+			}
+			if !fits(profileEntryCost(len(enc)), pageSecProfiles, id) {
+				return pg, nil
+			}
+			pg.Profiles = append(pg.Profiles, enc)
+		}
+		section, startKey = pageSecPurchases, ""
+	}
+
+	if section == pageSecPurchases {
+		pairs := make([]PurchasePair, 0, len(purchases))
+		for user, set := range purchases {
+			for pid := range set {
+				pp := PurchasePair{UserID: user, ProductID: pid}
+				if purchaseKey(pp) >= startKey {
+					pairs = append(pairs, pp)
+				}
+			}
+		}
+		sort.Slice(pairs, func(i, j int) bool { return purchaseKey(pairs[i]) < purchaseKey(pairs[j]) })
+		for _, pp := range pairs {
+			if !fits(purchaseEntryCost(pp), pageSecPurchases, purchaseKey(pp)) {
+				return pg, nil
+			}
+			pg.Purchases = append(pg.Purchases, pp)
+		}
+		startKey = ""
+	}
+
+	pids := make([]string, 0, len(sells))
+	for pid := range sells {
+		if pid >= startKey {
+			pids = append(pids, pid)
+		}
+	}
+	sort.Strings(pids)
+	for _, pid := range pids {
+		if !fits(sellEntryCost(pid), pageSecSells, pid) {
+			return pg, nil
+		}
+		pg.Sells = append(pg.Sells, SellCount{ProductID: pid, Total: sells[pid]})
+	}
+	return pg, nil // Next stays empty: the snapshot is complete
+}
+
+// purchaseKey is the stable sort key of one purchase pair; NUL sorts before
+// every printable byte, so a consumer's pairs group contiguously.
+func purchaseKey(p PurchasePair) string { return p.UserID + "\x00" + p.ProductID }
+
+// snapshotAssembler accumulates the pages of one transfer back into the
+// ShardSnapshot the install path applies wholesale.
+type snapshotAssembler struct {
+	snap ShardSnapshot
+}
+
+func (a *snapshotAssembler) reset() { a.snap = ShardSnapshot{} }
+
+func (a *snapshotAssembler) add(pg SnapshotPage) {
+	a.snap.Profiles = append(a.snap.Profiles, pg.Profiles...)
+	a.snap.Purchases = append(a.snap.Purchases, pg.Purchases...)
+	if len(pg.Sells) > 0 {
+		if a.snap.Sells == nil {
+			a.snap.Sells = make(map[string]int64)
+		}
+		for _, sc := range pg.Sells {
+			a.snap.Sells[sc.ProductID] = sc.Total
+		}
+	}
+}
+
+func (a *snapshotAssembler) snapshot() *ShardSnapshot { return &a.snap }

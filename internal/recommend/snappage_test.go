@@ -1,0 +1,466 @@
+package recommend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"agentrec/internal/profile"
+	"agentrec/internal/workload"
+)
+
+// Unit tests for the paged snapshot protocol: page reassembly equals the
+// whole-shard snapshot, a moved pin restarts the transfer, spilled shards
+// page without faulting in, and trimmed tail replies leave real lag in
+// Stats. The TCP end of the protocol is tested in internal/replnet.
+
+// pagedShard returns a shard of e that actually holds consumers, with its
+// whole-shard snapshot and pin for comparison.
+func pagedShard(t *testing.T, e *Engine) (shard int, tr TailResult) {
+	t.Helper()
+	best, bestUsers := -1, 0
+	for s := 0; s < e.nshards; s++ {
+		res, err := e.JournalTail(s, 0, 0) // stale cursor: forces a snapshot
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Snapshot == nil {
+			t.Fatalf("shard %d: stale cursor served records, want snapshot", s)
+		}
+		if n := len(res.Snapshot.Profiles); n > bestUsers {
+			best, bestUsers, tr = s, n, res
+		}
+	}
+	if best < 0 || bestUsers < 4 {
+		t.Fatalf("no shard with enough consumers to page (best %d: %d users)", best, bestUsers)
+	}
+	return best, tr
+}
+
+// pageAll drives a full paged transfer against e at the given pin,
+// asserting it takes more than one page.
+func pageAll(t *testing.T, e *Engine, shard int, epoch, seq uint64, maxBytes int) *ShardSnapshot {
+	t.Helper()
+	var asm snapshotAssembler
+	token := ""
+	pages := 0
+	for {
+		pg, err := e.SnapshotPage(shard, epoch, seq, token, maxBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pg.Epoch != epoch || pg.Seq != seq {
+			t.Fatalf("pin moved mid-transfer: (%d,%d) -> (%d,%d)", epoch, seq, pg.Epoch, pg.Seq)
+		}
+		asm.add(pg)
+		pages++
+		if pg.Next == "" {
+			break
+		}
+		token = pg.Next
+		if pages > 10000 {
+			t.Fatal("paged transfer does not terminate")
+		}
+	}
+	if pages < 2 {
+		t.Fatalf("transfer took %d page(s); shrink the budget so paging is exercised", pages)
+	}
+	return asm.snapshot()
+}
+
+// snapshotsEqual compares two shard snapshots order-insensitively (the
+// whole-shard cut follows map iteration order, pages follow key order).
+func snapshotsEqual(t *testing.T, got, want *ShardSnapshot) {
+	t.Helper()
+	toSets := func(s *ShardSnapshot) (profs map[string]bool, purch map[PurchasePair]bool, sells map[string]int64) {
+		profs = make(map[string]bool, len(s.Profiles))
+		for _, enc := range s.Profiles {
+			profs[string(enc)] = true
+		}
+		purch = make(map[PurchasePair]bool, len(s.Purchases))
+		for _, pp := range s.Purchases {
+			purch[pp] = true
+		}
+		sells = make(map[string]int64, len(s.Sells))
+		for pid, n := range s.Sells {
+			sells[pid] = n
+		}
+		return profs, purch, sells
+	}
+	gp, gu, gs := toSets(got)
+	wp, wu, ws := toSets(want)
+	if !reflect.DeepEqual(gp, wp) {
+		t.Fatalf("paged profiles differ from whole snapshot: %d vs %d", len(gp), len(wp))
+	}
+	if !reflect.DeepEqual(gu, wu) {
+		t.Fatalf("paged purchases differ from whole snapshot: %d vs %d", len(gu), len(wu))
+	}
+	if !reflect.DeepEqual(gs, ws) {
+		t.Fatalf("paged sells differ from whole snapshot: %v vs %v", gs, ws)
+	}
+}
+
+// TestSnapshotPagesReassembleWholeShard: a paged transfer under a tiny
+// budget must reassemble exactly the whole-shard snapshot.
+func TestSnapshotPagesReassembleWholeShard(t *testing.T) {
+	u, profiles := soakUniverse(t)
+	e, err := Open(u.Catalog, WithJournalFeed(0), WithShards(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.SetProfiles(profiles); err != nil {
+		t.Fatal(err)
+	}
+	for user, pids := range u.Purchases() {
+		for _, pid := range pids {
+			if err := e.RecordPurchase(user, pid); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	shard, tr := pagedShard(t, e)
+	paged := pageAll(t, e, shard, tr.Epoch, tr.Seq, 1024)
+	snapshotsEqual(t, paged, tr.Snapshot)
+}
+
+// TestSnapshotPageRestartsOnMovedPin: a write between pages moves the
+// shard's seq, so the next page request is answered with the first page of
+// a fresh transfer at a new pin, which includes the write.
+func TestSnapshotPageRestartsOnMovedPin(t *testing.T) {
+	u, profiles := soakUniverse(t)
+	e, err := Open(u.Catalog, WithJournalFeed(0), WithShards(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.SetProfiles(profiles); err != nil {
+		t.Fatal(err)
+	}
+	shard, tr := pagedShard(t, e)
+	first, err := e.SnapshotPage(shard, tr.Epoch, tr.Seq, "", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Next == "" {
+		t.Fatal("transfer fit one page; shrink the budget")
+	}
+
+	// A write to the paged shard moves the pin.
+	var moved *profile.Profile
+	for i := 0; ; i++ {
+		id := fmt.Sprintf("mid-transfer-%d", i)
+		if e.ShardOf(id) == shard {
+			moved = profile.NewProfile(id)
+			break
+		}
+	}
+	if err := e.SetProfile(moved); err != nil {
+		t.Fatal(err)
+	}
+
+	second, err := e.SnapshotPage(shard, tr.Epoch, tr.Seq, first.Next, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Epoch != tr.Epoch || second.Seq != tr.Seq+1 {
+		t.Fatalf("restarted page pin = (%d,%d), want fresh pin (%d,%d)",
+			second.Epoch, second.Seq, tr.Epoch, tr.Seq+1)
+	}
+	// Completing the restarted transfer yields the post-write state.
+	paged := pageAll(t, e, shard, second.Epoch, second.Seq, 1024)
+	want, err := e.JournalTail(shard, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshotsEqual(t, paged, want.Snapshot)
+	found := false
+	for _, enc := range paged.Profiles {
+		p, err := profile.Unmarshal(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.UserID == moved.UserID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("restarted transfer misses the mid-transfer write %s", moved.UserID)
+	}
+}
+
+// TestSnapshotPageSpilledShardStaysSpilled: pages of a spilled shard are
+// served from the Persister without faulting the shard in.
+func TestSnapshotPageSpilledShardStaysSpilled(t *testing.T) {
+	u, profiles := soakUniverse(t)
+	e, err := Open(u.Catalog, WithJournalFeed(0), WithShards(8),
+		WithPersistence(t.TempDir()), WithMaxResidentShards(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.SetProfiles(profiles); err != nil {
+		t.Fatal(err)
+	}
+	spilled := -1
+	for s := 0; s < e.nshards; s++ {
+		if !e.shards[s].resident.Load() {
+			if ids, err := e.persist.ShardUsers(s); err == nil && len(ids) >= 4 {
+				spilled = s
+				break
+			}
+		}
+	}
+	if spilled < 0 {
+		t.Fatal("no populated spilled shard under WithMaxResidentShards(1)")
+	}
+	tr, err := e.JournalTail(spilled, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paged := pageAll(t, e, spilled, tr.Epoch, tr.Seq, 1024)
+	snapshotsEqual(t, paged, tr.Snapshot)
+	if e.shards[spilled].resident.Load() {
+		t.Fatalf("paging faulted shard %d in", spilled)
+	}
+}
+
+// truncatingPeer serves real tails but cuts every record reply to a
+// one-record prefix, the in-process stand-in for a transport trimming to
+// its frame budget.
+type truncatingPeer struct{ e *Engine }
+
+func (p truncatingPeer) JournalTail(_ context.Context, shard int, epoch, since uint64) (TailResult, error) {
+	tr, err := p.e.JournalTail(shard, epoch, since)
+	if err == nil && len(tr.Records) > 1 {
+		tr.Records = tr.Records[:1]
+		tr.Seq = tr.Records[0].Seq
+	}
+	return tr, err
+}
+
+func (p truncatingPeer) SnapshotPage(_ context.Context, shard int, epoch, seq uint64, token string) (SnapshotPage, error) {
+	return p.e.SnapshotPage(shard, epoch, seq, token, 0)
+}
+
+// TestTrimmedReplyLeavesRealLag: when the transport trims a reply, the
+// follower is genuinely behind the owner, and Stats must report that lag
+// (OwnerSeq carries the owner's feed head, not the trimmed reply's end).
+func TestTrimmedReplyLeavesRealLag(t *testing.T) {
+	u, profiles := soakUniverse(t)
+	owner, err := Open(u.Catalog, WithJournalFeed(0), WithShards(8), WithNeighbors(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer owner.Close()
+	follower, err := Open(u.Catalog, WithJournalFeed(0), WithShards(8), WithNeighbors(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	r, err := NewReplicator(follower, 1, []Peer{truncatingPeer{e: owner}, nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := r.Sync(ctx); err != nil { // establish cursors while empty
+		t.Fatal(err)
+	}
+	// Seed only consumers on server-0-owned shards, so the pure follower's
+	// replicated half is the whole populated community.
+	seeded := 0
+	for _, p := range profiles {
+		if OwnerOf(owner.ShardOf(p.UserID), 2) != 0 {
+			continue
+		}
+		if err := owner.SetProfile(p); err != nil {
+			t.Fatal(err)
+		}
+		seeded++
+	}
+	if seeded < 16 {
+		t.Fatalf("only %d consumers landed on server-0 shards; universe too small", seeded)
+	}
+	if err := r.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if lag := st.Lag(); lag == 0 {
+		t.Fatalf("one-record-per-pull follower of a %d-write owner reports zero lag", seeded)
+	}
+	behind := 0
+	for _, sh := range st.Shards {
+		if sh.Lag() > 0 {
+			behind++
+			if sh.OwnerSeq <= sh.AppliedSeq {
+				t.Fatalf("shard %d: lag without OwnerSeq (%d) past AppliedSeq (%d)",
+					sh.Shard, sh.OwnerSeq, sh.AppliedSeq)
+			}
+		}
+	}
+	if behind == 0 {
+		t.Fatal("no shard reports being behind")
+	}
+	// Catching up drains the lag to zero.
+	for i := 0; i < seeded+8; i++ {
+		if err := r.Sync(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lag := r.Stats().Lag(); lag != 0 {
+		t.Fatalf("lag = %d after full catch-up", lag)
+	}
+	communityEqual(t, owner, follower)
+}
+
+// pagingPeer adapts an in-process engine the way replnet does: snapshot
+// tail replies become Paged markers, forcing the follower through the page
+// loop. It can fail one page call to simulate a cut transport, and counts
+// token requests so tests can prove resumption versus re-download.
+type pagingPeer struct {
+	e      *Engine
+	failAt int // 1-based page call to fail once; 0 = never
+	calls  int
+	tokens map[string]int
+}
+
+func (p *pagingPeer) JournalTail(_ context.Context, shard int, epoch, since uint64) (TailResult, error) {
+	tr, err := p.e.JournalTail(shard, epoch, since)
+	if err == nil && tr.Snapshot != nil {
+		tr = TailResult{Shards: tr.Shards, Epoch: tr.Epoch, Seq: tr.Seq, Head: tr.Head, Paged: true}
+	}
+	return tr, err
+}
+
+func (p *pagingPeer) SnapshotPage(_ context.Context, shard int, epoch, seq uint64, token string) (SnapshotPage, error) {
+	p.calls++
+	p.tokens[fmt.Sprintf("%d|%d|%d|%s", shard, epoch, seq, token)]++
+	if p.calls == p.failAt {
+		p.failAt = 0
+		return SnapshotPage{}, errors.New("simulated transport cut")
+	}
+	return p.e.SnapshotPage(shard, epoch, seq, token, 512)
+}
+
+// TestPagedTransferResumesAcrossPulls: a transfer interrupted mid-flight
+// (context expiry, transport cut) must resume from its saved continuation
+// token on the next pull while the pin is unchanged — re-downloading a
+// large bootstrap from scratch every pull would make a transfer longer
+// than the background loop's per-pass budget livelock forever.
+func TestPagedTransferResumesAcrossPulls(t *testing.T) {
+	u, profiles := soakUniverse(t)
+	owner, err := Open(u.Catalog, WithJournalFeed(0), WithShards(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer owner.Close()
+	seeded := 0
+	for _, p := range profiles {
+		if OwnerOf(owner.ShardOf(p.UserID), 2) != 0 {
+			continue
+		}
+		if err := owner.SetProfile(p); err != nil {
+			t.Fatal(err)
+		}
+		seeded++
+	}
+	follower, err := Open(u.Catalog, WithJournalFeed(0), WithShards(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	peer := &pagingPeer{e: owner, failAt: 3, tokens: make(map[string]int)}
+	r, err := NewReplicator(follower, 1, []Peer{peer, nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := r.Sync(ctx); err == nil {
+		t.Fatal("first pass should report the simulated transport cut")
+	}
+	// Mid-bootstrap, the follower is maximally behind: Stats must already
+	// report the lag against the owner's pinned head, not zero.
+	if lag := r.Stats().Lag(); lag == 0 {
+		t.Fatal("in-flight paged bootstrap reports zero lag")
+	}
+	if err := r.Sync(ctx); err != nil {
+		t.Fatalf("second pass should resume and complete: %v", err)
+	}
+	// Exactly the failed page request repeats; every other page of every
+	// transfer is fetched once. Without resumption the whole prefix of the
+	// cut shard's transfer would repeat.
+	dups := 0
+	for tok, n := range peer.tokens {
+		if n > 2 {
+			t.Fatalf("page %q requested %d times", tok, n)
+		}
+		if n == 2 {
+			dups++
+		}
+	}
+	if dups != 1 {
+		t.Fatalf("%d page requests repeated, want exactly the failed one", dups)
+	}
+	if got, want := follower.Users(), owner.Users(); !reflect.DeepEqual(got, want) || len(got) != seeded {
+		t.Fatalf("user sets differ after resumed transfer: %d vs %d", len(got), len(want))
+	}
+}
+
+// BenchmarkReplicationCatchUp measures a cold follower's full snapshot
+// catch-up from an in-process owner: the cost of bootstrapping a replica
+// of a warm community.
+func BenchmarkReplicationCatchUp(b *testing.B) {
+	u, err := workload.Generate(workload.Config{
+		Seed: 23, Users: 500, Products: 400, Categories: 8, RelevantPerUser: 12,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	profiles := make([]*profile.Profile, len(u.Users))
+	for i, usr := range u.Users {
+		if profiles[i], err = u.BuildProfile(usr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	owner, err := Open(u.Catalog, WithJournalFeed(0), WithShards(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer owner.Close()
+	if err := owner.SetProfiles(profiles); err != nil {
+		b.Fatal(err)
+	}
+	for user, pids := range u.Purchases() {
+		for _, pid := range pids {
+			if err := owner.RecordPurchase(user, pid); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		follower, err := Open(u.Catalog, WithJournalFeed(0), WithShards(8))
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := NewReplicator(follower, 1, []Peer{LocalPeer{Engine: owner}, nil})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.Sync(ctx); err != nil {
+			b.Fatal(err)
+		}
+		r.Close()
+		follower.Close()
+	}
+}

@@ -8,9 +8,10 @@
 // Three pieces:
 //
 //   - Handler(engine) serves a server's journal surface: "tail" requests
-//     from followers, and forwarded writes ("set-profiles", "purchase")
-//     from peers that do not own the consumer's shard. Install it with
-//     atp.Server.SetJournalHandler.
+//     from followers, "snap-page" requests transferring an oversized shard
+//     snapshot in bounded pages, and forwarded writes ("set-profiles",
+//     "purchase") from peers that do not own the consumer's shard. Install
+//     it with atp.Server.SetJournalHandler.
 //   - Peer implements recommend.Peer over an atp.Client — the follower
 //     side of journal tailing.
 //   - Writer implements recommend.Writer over an atp.Client — the
@@ -31,6 +32,7 @@ import (
 // Journal frame sub-operations.
 const (
 	kindTail        = "tail"
+	kindSnapPage    = "snap-page"
 	kindSetProfiles = "set-profiles"
 	kindPurchase    = "purchase"
 )
@@ -41,9 +43,22 @@ const (
 // slack — a reply at the bound still fits atp.MaxFrame after encoding.
 // Replies over the bound are trimmed to a prefix of the records — the
 // follower's cursor advances and the next pull continues — so a burst of
-// large journal records never wedges replication on frame size. A var so
-// tests can shrink it.
+// large journal records never wedges replication on frame size. A reply
+// that cannot shrink (a whole ShardSnapshot, or a single oversized record)
+// falls back to the paged snapshot transfer instead. A var so tests can
+// shrink it.
 var maxTailBytes = (atp.MaxFrame - (1 << 20)) / 4 * 3
+
+// pageBudget is the per-entry byte budget handed to Engine.SnapshotPage:
+// the tail budget minus slack for the page's JSON envelope, so a page at
+// the budget still fits the frame after the base64 expansion maxTailBytes
+// already prices in.
+func pageBudget() int {
+	if b := maxTailBytes - 1024; b > 0 {
+		return b
+	}
+	return maxTailBytes/2 + 1
+}
 
 // maxForwardBytes bounds the profile payload of one forwarded write frame;
 // larger batches are split into several frames, in order.
@@ -53,6 +68,13 @@ type tailRequest struct {
 	Shard int    `json:"shard"`
 	Epoch uint64 `json:"epoch"`
 	Since uint64 `json:"since"`
+}
+
+type snapPageRequest struct {
+	Shard int    `json:"shard"`
+	Epoch uint64 `json:"epoch"`
+	Seq   uint64 `json:"seq"`
+	Token string `json:"token,omitempty"`
 }
 
 type setProfilesRequest struct {
@@ -94,7 +116,21 @@ func Handler(e *recommend.Engine, self, servers int) atp.JournalHandler {
 			if err != nil {
 				return nil, err
 			}
-			return marshalTailBounded(tr)
+			return marshalTailBounded(req.Shard, tr)
+		case kindSnapPage:
+			var req snapPageRequest
+			if err := json.Unmarshal(data, &req); err != nil {
+				return nil, fmt.Errorf("replnet: decoding snapshot page request: %w", err)
+			}
+			pg, err := e.SnapshotPage(req.Shard, req.Epoch, req.Seq, req.Token, pageBudget())
+			if err != nil {
+				return nil, err
+			}
+			out, err := json.Marshal(pg)
+			if err != nil {
+				return nil, fmt.Errorf("replnet: encoding snapshot page for shard %d: %w", req.Shard, err)
+			}
+			return out, nil
 		case kindSetProfiles:
 			var req setProfilesRequest
 			if err := json.Unmarshal(data, &req); err != nil {
@@ -130,38 +166,37 @@ func Handler(e *recommend.Engine, self, servers int) atp.JournalHandler {
 	}
 }
 
-// marshalTailBounded encodes tr, trimming the served records to a prefix
-// that fits maxTailBytes (the follower pulls the rest next round). A
-// snapshot cannot be served as a prefix: an oversized one is a hard,
-// descriptive error — the shard needs a smaller community, more shards, or
-// the chunked catch-up transfer ROADMAP.md tracks.
-func marshalTailBounded(tr recommend.TailResult) ([]byte, error) {
+// marshalTailBounded encodes shard's tail reply, bounding it to
+// maxTailBytes. Served records are trimmed to a prefix — the follower's
+// cursor advances and the next pull continues. A reply that cannot shrink
+// any further — a whole ShardSnapshot, or a single journal record over the
+// budget (one poison record must never wedge the shard's replication
+// forever) — is replaced by a TailResult.Paged marker: the follower
+// transfers the snapshot through bounded snap-page requests instead,
+// pinned at the owner's feed head, which also carries it past the
+// oversized record.
+func marshalTailBounded(shard int, tr recommend.TailResult) ([]byte, error) {
 	out, err := json.Marshal(tr)
 	if err != nil {
-		return nil, fmt.Errorf("replnet: encoding tail result: %w", err)
+		return nil, fmt.Errorf("replnet: encoding shard %d tail result: %w", shard, err)
 	}
 	for len(out) > maxTailBytes {
-		if tr.Snapshot != nil {
-			return nil, fmt.Errorf("replnet: shard %d snapshot is %d encoded bytes, over the %d frame budget; catch-up for this shard cannot cross atp (raise the shard count so shards shrink, or keep followers inside the journal tail)",
-				shardOf(tr), len(out), maxTailBytes)
-		}
-		if len(tr.Records) <= 1 {
-			return nil, fmt.Errorf("replnet: single journal record is %d encoded bytes, over the %d frame budget", len(out), maxTailBytes)
+		if tr.Snapshot != nil || len(tr.Records) <= 1 {
+			marker := recommend.TailResult{
+				Shards: tr.Shards, Epoch: tr.Epoch, Seq: tr.Head, Head: tr.Head, Paged: true,
+			}
+			if out, err = json.Marshal(marker); err != nil {
+				return nil, fmt.Errorf("replnet: encoding shard %d paged-snapshot marker: %w", shard, err)
+			}
+			return out, nil
 		}
 		tr.Records = tr.Records[:len(tr.Records)/2]
 		tr.Seq = tr.Records[len(tr.Records)-1].Seq
 		if out, err = json.Marshal(tr); err != nil {
-			return nil, fmt.Errorf("replnet: encoding trimmed tail result: %w", err)
+			return nil, fmt.Errorf("replnet: encoding shard %d trimmed tail result: %w", shard, err)
 		}
 	}
 	return out, nil
-}
-
-func shardOf(tr recommend.TailResult) int {
-	if len(tr.Records) > 0 {
-		return tr.Records[0].Shard
-	}
-	return -1
 }
 
 // Peer tails a remote server's journal over atp. It implements
@@ -193,20 +228,45 @@ func (p *Peer) JournalTail(ctx context.Context, shard int, epoch, since uint64) 
 	return tr, nil
 }
 
+// SnapshotPage implements recommend.Peer: one bounded page of a paged
+// shard-snapshot transfer (served when a tail reply came back Paged).
+func (p *Peer) SnapshotPage(ctx context.Context, shard int, epoch, seq uint64, token string) (recommend.SnapshotPage, error) {
+	req, err := json.Marshal(snapPageRequest{Shard: shard, Epoch: epoch, Seq: seq, Token: token})
+	if err != nil {
+		return recommend.SnapshotPage{}, fmt.Errorf("replnet: encoding snapshot page request: %w", err)
+	}
+	out, err := p.client.Journal(ctx, p.dest, kindSnapPage, req)
+	if err != nil {
+		return recommend.SnapshotPage{}, err
+	}
+	var pg recommend.SnapshotPage
+	if err := json.Unmarshal(out, &pg); err != nil {
+		return recommend.SnapshotPage{}, fmt.Errorf("replnet: decoding snapshot page from %s: %w", p.dest, err)
+	}
+	return pg, nil
+}
+
 var _ recommend.Peer = (*Peer)(nil)
 
 // Writer forwards community writes to the shard owner's server over atp.
 // It implements recommend.Writer, so it slots into recommend.NewRouter as
 // the write surface of a remote peer.
 type Writer struct {
+	base    context.Context
 	client  *atp.Client
 	dest    string
 	timeout time.Duration
 }
 
-// NewWriter returns a Writer forwarding to the ATP server at dest.
-func NewWriter(client *atp.Client, dest string) *Writer {
-	return &Writer{client: client, dest: dest, timeout: 30 * time.Second}
+// NewWriter returns a Writer forwarding to the ATP server at dest. base is
+// the forwarding server's lifecycle context: cancelling it (shutdown)
+// aborts in-flight forwards immediately instead of letting them ride out
+// the full send timeout. nil means context.Background (no lifecycle).
+func NewWriter(base context.Context, client *atp.Client, dest string) *Writer {
+	if base == nil {
+		base = context.Background()
+	}
+	return &Writer{base: base, client: client, dest: dest, timeout: 30 * time.Second}
 }
 
 func (w *Writer) send(kind string, v any) error {
@@ -214,7 +274,7 @@ func (w *Writer) send(kind string, v any) error {
 	if err != nil {
 		return fmt.Errorf("replnet: encoding %s: %w", kind, err)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), w.timeout)
+	ctx, cancel := context.WithTimeout(w.base, w.timeout)
 	defer cancel()
 	_, err = w.client.Journal(ctx, w.dest, kind, data)
 	return err

@@ -60,7 +60,7 @@ func startCluster(t *testing.T, n int) []*tcpServer {
 			if j == i {
 				continue
 			}
-			writers[j] = NewWriter(client, other.srv.Addr())
+			writers[j] = NewWriter(t.Context(), client, other.srv.Addr())
 			peers[j] = NewPeer(client, other.srv.Addr())
 		}
 		router, err := recommend.NewRouter(s.engine, i, writers)
@@ -167,9 +167,10 @@ func TestTCPForwardedTimestampedPurchase(t *testing.T) {
 
 // TestTailTrimmedToFrameBudget shrinks the reply budget so the owner must
 // serve journal records in several bounded pulls; the follower's cursor
-// advances each round and replication still converges. A cold follower
-// whose catch-up needs a snapshot bigger than the budget gets a hard,
-// descriptive error instead of a wedged opaque frame failure.
+// advances each round, reported lag is nonzero while it is held behind,
+// and replication still converges. A cold follower whose catch-up needs a
+// snapshot bigger than the budget bootstraps through the paged snapshot
+// transfer instead of erroring.
 func TestTailTrimmedToFrameBudget(t *testing.T) {
 	old := maxTailBytes
 	maxTailBytes = 2048
@@ -190,7 +191,8 @@ func TestTailTrimmedToFrameBudget(t *testing.T) {
 		}
 	}
 	// One Sync pass per round serves a trimmed prefix; lag must strictly
-	// shrink to zero within a bounded number of rounds.
+	// shrink to zero within a bounded number of rounds, and while a round
+	// leaves the follower behind the writing owner, Stats must say so.
 	for i, s := range servers {
 		for round := 0; ; round++ {
 			if err := s.repl.Sync(ctx); err != nil {
@@ -210,16 +212,23 @@ func TestTailTrimmedToFrameBudget(t *testing.T) {
 			if caught {
 				break
 			}
+			if lag := st.Lag(); lag == 0 {
+				t.Fatalf("server %d round %d: follower is behind but Stats lag = 0", i, round)
+			}
 			if round > 100 {
 				t.Fatalf("server %d never caught up", i)
 			}
+		}
+		if lag := s.repl.Stats().Lag(); lag != 0 {
+			t.Fatalf("server %d caught up but Stats lag = %d", i, lag)
 		}
 	}
 	if got, want := servers[1].engine.Users(), servers[0].engine.Users(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("user sets differ after trimmed tailing: %d vs %d", len(got), len(want))
 	}
 
-	// A fresh follower now needs a snapshot that cannot fit the budget.
+	// A fresh follower now needs a snapshot that cannot fit the budget:
+	// catch-up must page instead of erroring.
 	maxTailBytes = 256
 	cold, err := recommend.Open(catalogWithP1(t), recommend.WithJournalFeed(0), recommend.WithShards(8))
 	if err != nil {
@@ -232,12 +241,32 @@ func TestTailTrimmedToFrameBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer repl.Close()
-	if err := repl.Sync(ctx); err == nil || !strings.Contains(err.Error(), "snapshot") {
-		t.Fatalf("oversized snapshot error = %v, want a descriptive snapshot-size error", err)
+	if err := repl.Sync(ctx); err != nil {
+		t.Fatalf("cold follower paged bootstrap: %v", err)
+	}
+	st := repl.Stats()
+	if snaps, pages := sumField(st, func(s recommend.ShardReplication) uint64 { return s.Snapshots }),
+		sumField(st, func(s recommend.ShardReplication) uint64 { return s.Pages }); snaps == 0 || pages <= snaps {
+		t.Fatalf("paged bootstrap stats: %d snapshots, %d pages; want paging (pages > snapshots > 0)", snaps, pages)
+	}
+	for _, u := range servers[0].engine.Users() {
+		if recommend.OwnerOf(servers[0].engine.ShardOf(u), 2) != 0 {
+			continue // cold follower only tails server 0's shards
+		}
+		if _, err := cold.Profile(u); err != nil {
+			t.Fatalf("cold follower missing %s after paged bootstrap: %v", u, err)
+		}
 	}
 }
 
-func catalogWithP1(t *testing.T) *catalog.Catalog {
+func sumField(st recommend.ReplicationStats, f func(recommend.ShardReplication) uint64) (n uint64) {
+	for _, s := range st.Shards {
+		n += f(s)
+	}
+	return n
+}
+
+func catalogWithP1(t testing.TB) *catalog.Catalog {
 	t.Helper()
 	cat := catalog.New()
 	if err := cat.Add(&catalog.Product{ID: "p1", Name: "P1", Category: "laptop",
