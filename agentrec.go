@@ -126,9 +126,20 @@ func WithReplicatedEngines() Option {
 // BSMDB the same way. A platform restarted on the same dir answers with
 // the same recommendations it gave before the restart. Combine with
 // WithEngineOptions(recommend.WithMaxResidentShards(n)) to bound how much
-// of the community stays in memory.
+// of the community stays in memory, and WithCompaction to bound the
+// journal itself.
 func WithStateDir(dir string) Option {
 	return func(c *platform.Config) { c.StateDir = dir }
+}
+
+// WithCompaction enables automatic crash-safe compaction of the durable
+// community journal: whenever the WAL grows past ratio times its encoded
+// live state it is rewritten down to live state in the background, so a
+// long-lived platform's restart time stays bounded. Zero ratio keeps
+// compaction manual; only meaningful together with WithStateDir. See
+// DESIGN.md "Compaction".
+func WithCompaction(ratio float64) Option {
+	return func(c *platform.Config) { c.CompactRatio = ratio }
 }
 
 // Engine re-exports; see package recommend for the full set.

@@ -64,18 +64,19 @@ type replConfig struct {
 
 func main() {
 	var (
-		markets    = flag.Int("markets", 2, "number of marketplace servers")
-		coordAddr  = flag.String("coord", "127.0.0.1:7001", "coordinator ATP address")
-		marketIP   = flag.String("market-ip", "127.0.0.1", "marketplace bind IP")
-		basePort   = flag.Int("market-base-port", 7101, "first marketplace ATP port")
-		buyerAddr  = flag.String("buyer", "127.0.0.1:7201", "buyer agent server ATP address")
-		buyerPeers = flag.String("buyer-peers", "", "ordered ATP addresses of ALL buyer servers (including -buyer) for shard replication; empty = standalone")
-		shards     = flag.Int("engine-shards", recommend.DefaultShards, "engine shard count (every buyer server must agree)")
-		replPull   = flag.Duration("repl-interval", 200*time.Millisecond, "journal tail interval for shard replication")
-		httpAddr   = flag.String("http", "127.0.0.1:8080", "consumer web interface address")
-		key        = flag.String("key", "agentrec-demo-platform-key", "shared HMAC platform key")
-		stateDir   = flag.String("state-dir", "", "durable state directory (empty = memory-only)")
-		verbose    = flag.Bool("trace", false, "print every workflow step")
+		markets      = flag.Int("markets", 2, "number of marketplace servers")
+		coordAddr    = flag.String("coord", "127.0.0.1:7001", "coordinator ATP address")
+		marketIP     = flag.String("market-ip", "127.0.0.1", "marketplace bind IP")
+		basePort     = flag.Int("market-base-port", 7101, "first marketplace ATP port")
+		buyerAddr    = flag.String("buyer", "127.0.0.1:7201", "buyer agent server ATP address")
+		buyerPeers   = flag.String("buyer-peers", "", "ordered ATP addresses of ALL buyer servers (including -buyer) for shard replication; empty = standalone")
+		shards       = flag.Int("engine-shards", recommend.DefaultShards, "engine shard count (every buyer server must agree)")
+		replPull     = flag.Duration("repl-interval", 200*time.Millisecond, "journal tail interval for shard replication")
+		httpAddr     = flag.String("http", "127.0.0.1:8080", "consumer web interface address")
+		key          = flag.String("key", "agentrec-demo-platform-key", "shared HMAC platform key")
+		stateDir     = flag.String("state-dir", "", "durable state directory (empty = memory-only)")
+		compactRatio = flag.Float64("compact-ratio", 4, "auto-compact the engine WAL when it exceeds this multiple of the live state (0 = manual only; needs -state-dir)")
+		verbose      = flag.Bool("trace", false, "print every workflow step")
 	)
 	flag.Parse()
 
@@ -101,12 +102,12 @@ func main() {
 		repl = &replConfig{servers: servers, self: self, shards: *shards, interval: *replPull}
 	}
 
-	if err := run(*markets, *coordAddr, *marketIP, *basePort, *buyerAddr, *httpAddr, *key, *stateDir, *shards, repl, *verbose); err != nil {
+	if err := run(*markets, *coordAddr, *marketIP, *basePort, *buyerAddr, *httpAddr, *key, *stateDir, *shards, *compactRatio, repl, *verbose); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(markets int, coordAddr, marketIP string, basePort int, buyerAddr, httpAddr, key, stateDir string, shards int, repl *replConfig, verbose bool) error {
+func run(markets int, coordAddr, marketIP string, basePort int, buyerAddr, httpAddr, key, stateDir string, shards int, compactRatio float64, repl *replConfig, verbose bool) error {
 	// ctx is the process lifecycle: cancelled on shutdown so in-flight
 	// forwarded writes abort instead of stalling on their send timeout.
 	ctx, cancel := context.WithCancel(context.Background())
@@ -198,6 +199,17 @@ func run(markets int, coordAddr, marketIP string, basePort int, buyerAddr, httpA
 	if stateDir != "" {
 		engineOpts = append(engineOpts, recommend.WithPersistence(filepath.Join(stateDir, "engine")))
 		buyerOpts = append(buyerOpts, buyerserver.WithStateDir(filepath.Join(stateDir, "buyer-server-1")))
+		if compactRatio > 0 {
+			// Keep the community WAL (and with it restart time) bounded. A
+			// replicated server journals every record it applies from peers
+			// and rewrites whole shards on snapshot catch-up, so it gets the
+			// eager follower policy.
+			pol := recommend.CompactionPolicy{Ratio: compactRatio}
+			if repl != nil {
+				pol = recommend.FollowerCompactionPolicy(compactRatio)
+			}
+			engineOpts = append(engineOpts, recommend.WithAutoCompaction(pol))
+		}
 	}
 	engine, err := recommend.Open(union, engineOpts...)
 	if err != nil {

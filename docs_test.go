@@ -46,7 +46,7 @@ func TestReadmeFlagReferenceMatchesPlatformd(t *testing.T) {
 	readme := readDoc(t, "README.md")
 	src := readDoc(t, filepath.Join("cmd", "platformd", "main.go"))
 
-	defRe := regexp.MustCompile(`flag\.(?:Int|String|Bool|Duration)\("([^"]+)"`)
+	defRe := regexp.MustCompile(`flag\.(?:Int|String|Bool|Duration|Float64)\("([^"]+)"`)
 	defined := make(map[string]bool)
 	for _, m := range defRe.FindAllStringSubmatch(src, -1) {
 		defined[m[1]] = true

@@ -177,7 +177,11 @@ func (a *bsmaAgent) HandleMessage(ctx *aglet.Context, msg aglet.Message) (aglet.
 
 func (a *bsmaAgent) register(userID string) (aglet.Message, error) {
 	s := a.srv
-	if s.userDB.Has(bucketUsers, userID) {
+	exists, err := s.userDB.Has(bucketUsers, userID)
+	if err != nil {
+		return aglet.Message{}, err
+	}
+	if exists {
 		return aglet.Message{}, fmt.Errorf("%w: %s", ErrUserExists, userID)
 	}
 	rec := UserRecord{ID: userID, RegisteredAt: time.Now()}

@@ -25,15 +25,35 @@
 //   - Batches larger than maxRecordLen are rejected up front — on
 //     memory-only stores too — so an accepted write can never poison a
 //     later Snapshot or durable reopen.
-//   - Scan returns entries sorted by key, and Snapshot serializes buckets
-//     and keys in sorted order: two stores holding the same live state
-//     produce byte-identical snapshots regardless of write history (the
-//     property the engine's replication tests pin).
+//   - Scan returns entries sorted by key, and Snapshot and Compact
+//     serialize buckets and keys in sorted order: two stores holding the
+//     same live state produce byte-identical snapshots and byte-identical
+//     compacted logs regardless of write history (the property the
+//     engine's replication tests pin).
+//   - Every accessor reports ErrClosed after Close; no method silently
+//     answers from a closed store.
 //   - Bucket names are free-form minus NUL; keys are non-empty. Callers
 //     own any further layout. The recommendation engine, the heaviest
 //     user, keys one bucket per community shard and kind (prof/<shard>,
 //     purch/<shard>, sell/<shard> — see internal/recommend/persist.go),
 //     which keeps recovery and replication per-shard prefix scans.
+//
+// # Durability contract
+//
+// Honestly stated, in increasing strength:
+//
+//   - Every Apply flushes the encoded record to the operating system
+//     before the batch is acknowledged, so acknowledged writes survive a
+//     process crash. The store does NOT fsync per append: batches still
+//     in the OS write-back cache can vanish on power loss or kernel
+//     panic. Sync is the explicit barrier for callers who need an
+//     acknowledged batch on stable storage.
+//   - Compact is crash-safe: the replacement log is built in a
+//     <path>.compact temp file, fsynced, and atomically renamed over the
+//     live log. A crash at any point — before, during, or after the
+//     rename — reopens to either the full pre-compaction state or the
+//     full compacted state, never an empty or partial store. Stale temp
+//     files from crashed compactions are removed on Open.
 package kvstore
 
 import (
@@ -46,6 +66,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -88,6 +109,14 @@ type Store struct {
 	buckets map[string]map[string][]byte
 	wal     *walWriter
 	closed  bool
+
+	compactMu sync.Mutex // serializes Compact calls (lock order compactMu -> mu)
+
+	// Size accounting (see SizeStats), maintained incrementally under mu.
+	journalBytes  int64
+	appendedBytes int64
+	liveBytes     int64
+	compactions   uint64
 }
 
 // New returns a memory-only store.
@@ -96,8 +125,14 @@ func New() *Store {
 }
 
 // Open returns a store persisted to the append-only log at path, replaying
-// any existing log. The file is created if absent.
+// any existing log. The file is created if absent. A stale <path>.compact
+// temp file left by a crashed compaction is removed first: the rename that
+// would have made it live never happened, so the log itself is
+// authoritative.
 func Open(path string) (*Store, error) {
+	if err := os.Remove(path + compactSuffix); err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("kvstore: removing stale compaction file: %w", err)
+	}
 	s := New()
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
@@ -107,11 +142,14 @@ func Open(path string) (*Store, error) {
 		f.Close()
 		return nil, err
 	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("kvstore: seeking log end: %w", err)
 	}
-	s.wal = &walWriter{f: f, w: bufio.NewWriter(f)}
+	s.wal = &walWriter{path: path, f: f, w: bufio.NewWriter(f)}
+	s.journalBytes = size
+	s.recomputeLive()
 	return s, nil
 }
 
@@ -149,7 +187,8 @@ func (s *Store) Apply(ops []Op) error {
 			return err
 		}
 	}
-	if payloadLen(ops) > maxRecordLen {
+	plen := payloadLen(ops)
+	if plen > maxRecordLen {
 		return fmt.Errorf("%w: %d ops", ErrBatchTooLarge, len(ops))
 	}
 	s.mu.Lock()
@@ -161,20 +200,31 @@ func (s *Store) Apply(ops []Op) error {
 		if err := s.wal.append(ops); err != nil {
 			return err
 		}
+		rec := int64(8 + plen)
+		s.journalBytes += rec
+		s.appendedBytes += rec
 	}
 	for _, op := range ops {
 		b := s.buckets[op.Bucket]
+		old, existed := b[op.Key]
 		if op.Delete {
-			delete(b, op.Key)
+			if existed {
+				s.liveBytes -= liveRecordLen(op.Bucket, op.Key, old)
+				delete(b, op.Key)
+			}
 			continue
 		}
 		if b == nil {
 			b = make(map[string][]byte)
 			s.buckets[op.Bucket] = b
 		}
+		if existed {
+			s.liveBytes -= liveRecordLen(op.Bucket, op.Key, old)
+		}
 		v := make([]byte, len(op.Value))
 		copy(v, op.Value)
 		b[op.Key] = v
+		s.liveBytes += liveRecordLen(op.Bucket, op.Key, v)
 	}
 	return nil
 }
@@ -198,12 +248,19 @@ func (s *Store) Get(bucket, key string) ([]byte, error) {
 	return out, nil
 }
 
-// Has reports whether bucket/key exists.
-func (s *Store) Has(bucket, key string) bool {
+// Has reports whether bucket/key exists. Like every other accessor it
+// reports ErrClosed on a closed store.
+func (s *Store) Has(bucket, key string) (bool, error) {
+	if err := validate(bucket, key); err != nil {
+		return false, err
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.closed {
+		return false, ErrClosed
+	}
 	_, ok := s.buckets[bucket][key]
-	return ok
+	return ok, nil
 }
 
 // Scan returns all entries in bucket whose key starts with prefix, sorted by
@@ -230,17 +287,26 @@ func (s *Store) Scan(bucket, prefix string) ([]Entry, error) {
 	return out, nil
 }
 
-// Count reports the number of keys in bucket.
-func (s *Store) Count(bucket string) int {
+// Count reports the number of keys in bucket, or ErrClosed.
+func (s *Store) Count(bucket string) (int, error) {
+	if bucket == "" {
+		return 0, ErrEmptyBucket
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.buckets[bucket])
+	if s.closed {
+		return 0, ErrClosed
+	}
+	return len(s.buckets[bucket]), nil
 }
 
-// Buckets returns the sorted names of all non-empty buckets.
-func (s *Store) Buckets() []string {
+// Buckets returns the sorted names of all non-empty buckets, or ErrClosed.
+func (s *Store) Buckets() ([]string, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
 	out := make([]string, 0, len(s.buckets))
 	for name, b := range s.buckets {
 		if len(b) > 0 {
@@ -248,7 +314,41 @@ func (s *Store) Buckets() []string {
 		}
 	}
 	sort.Strings(out)
-	return out
+	return out, nil
+}
+
+// SizeStats is the store's size accounting, the signal automatic
+// compaction policies key off. All fields are maintained incrementally
+// under the store lock — reading them is cheap enough for a write path.
+type SizeStats struct {
+	// JournalBytes is the current size of the append-only log (always 0
+	// for memory-only stores).
+	JournalBytes int64
+	// AppendedBytes counts bytes appended since Open or since the last
+	// successful Compact (which resets it to the bytes carried over from
+	// writes landing mid-compaction).
+	AppendedBytes int64
+	// LiveBytes is the size a log holding exactly the live state would
+	// have — what the journal shrinks to if compacted now. Maintained for
+	// memory-only stores too.
+	LiveBytes int64
+	// Compactions counts successful Compact calls since Open.
+	Compactions uint64
+}
+
+// SizeStats reports the store's current size accounting, or ErrClosed.
+func (s *Store) SizeStats() (SizeStats, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return SizeStats{}, ErrClosed
+	}
+	return SizeStats{
+		JournalBytes:  s.journalBytes,
+		AppendedBytes: s.appendedBytes,
+		LiveBytes:     s.liveBytes,
+		Compactions:   s.compactions,
+	}, nil
 }
 
 // Close flushes and closes the WAL, if any. Further operations return
@@ -266,10 +366,11 @@ func (s *Store) Close() error {
 	return nil
 }
 
-// Compact rewrites the WAL to contain only the live state, shrinking logs
-// that have accumulated overwrites and deletes. It is a no-op for
-// memory-only stores.
-func (s *Store) Compact() error {
+// Sync flushes buffered appends and fsyncs the log to stable storage: the
+// durability barrier for callers who need an acknowledged batch to survive
+// power loss, not just a process crash (see the package durability
+// contract). No-op for memory-only stores.
+func (s *Store) Sync() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -278,7 +379,81 @@ func (s *Store) Compact() error {
 	if s.wal == nil {
 		return nil
 	}
-	return s.wal.rewrite(s.buckets)
+	return s.wal.sync()
+}
+
+// Compact rewrites the log to hold exactly the live state, in sorted
+// (bucket, key) order, shrinking logs that accumulated overwrites and
+// deletes. Two stores holding identical live state compact to
+// byte-identical logs.
+//
+// Compact is crash-safe: the replacement is built in a <path>.compact temp
+// file, fsynced, and atomically renamed over the live log, so a crash at
+// any point leaves either the full old log or the full new one — never a
+// truncated store. The bulk of the rewrite runs without the store lock
+// (writes keep landing in the live log and are carried over before the
+// swap); only the final delta copy, fsync, and rename briefly exclude
+// writers. No-op for memory-only stores.
+func (s *Store) Compact() error {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+
+	// Cut a consistent view. Values are immutable in place (Apply installs
+	// fresh copies), so shallow-copying the maps under the lock freezes the
+	// live state as of journal offset cut.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if s.wal == nil {
+		s.mu.Unlock()
+		return nil
+	}
+	wal := s.wal
+	if wal.err != nil {
+		s.mu.Unlock()
+		return wal.err
+	}
+	if err := wal.w.Flush(); err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("kvstore: flushing before compaction: %w", err)
+	}
+	view := make(map[string]map[string][]byte, len(s.buckets))
+	for name, b := range s.buckets {
+		cp := make(map[string][]byte, len(b))
+		for k, v := range b {
+			cp[k] = v
+		}
+		view[name] = cp
+	}
+	cut := s.journalBytes
+	s.mu.Unlock()
+
+	// Rewrite the frozen view into the temp file with no store lock held:
+	// writers append to the live log meanwhile.
+	tmp, bw, written, err := wal.writeCompacted(view)
+	if err != nil {
+		return err
+	}
+
+	// Publish: carry over the records appended since the cut, fsync, and
+	// atomically swap the compacted log in.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		tmp.Close()
+		os.Remove(wal.path + compactSuffix)
+		return ErrClosed
+	}
+	delta, err := wal.publishCompacted(tmp, bw, cut, s.journalBytes-cut)
+	if err != nil {
+		return err
+	}
+	s.journalBytes = written + delta
+	s.appendedBytes = delta
+	s.compactions++
+	return nil
 }
 
 // EncodeJSON marshals v and stores it under bucket/key.
@@ -311,25 +486,46 @@ func (s *Store) Snapshot(w io.Writer) error {
 		return ErrClosed
 	}
 	bw := bufio.NewWriter(w)
-	names := make([]string, 0, len(s.buckets))
-	for name := range s.buckets {
+	if _, err := writeSortedRecords(bw, s.buckets, nil); err != nil {
+		return fmt.Errorf("kvstore: writing snapshot: %w", err)
+	}
+	return bw.Flush()
+}
+
+// writeSortedRecords writes one put record per live key of buckets to w in
+// sorted (bucket, key) order and returns the bytes written. It is the one
+// canonical serialization of live state — Snapshot and Compact both use
+// it, which is what makes snapshots AND compacted logs byte-identical
+// across stores holding the same state (and what liveRecordLen predicts
+// per entry). each, when non-nil, runs after every record (Compact's
+// crash-injection point); its error aborts unwrapped.
+func writeSortedRecords(w io.Writer, buckets map[string]map[string][]byte, each func() error) (int64, error) {
+	names := make([]string, 0, len(buckets))
+	for name := range buckets {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	var written int64
 	for _, name := range names {
-		keys := make([]string, 0, len(s.buckets[name]))
-		for k := range s.buckets[name] {
+		keys := make([]string, 0, len(buckets[name]))
+		for k := range buckets[name] {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
 		for _, k := range keys {
-			rec := encodeRecord([]Op{{Bucket: name, Key: k, Value: s.buckets[name][k]}})
-			if _, err := bw.Write(rec); err != nil {
-				return fmt.Errorf("kvstore: writing snapshot: %w", err)
+			rec := encodeRecord([]Op{{Bucket: name, Key: k, Value: buckets[name][k]}})
+			if _, err := w.Write(rec); err != nil {
+				return written, err
+			}
+			written += int64(len(rec))
+			if each != nil {
+				if err := each(); err != nil {
+					return written, err
+				}
 			}
 		}
 	}
-	return bw.Flush()
+	return written, nil
 }
 
 // RestoreInto loads a Snapshot stream into an empty memory store. It fails
@@ -349,6 +545,7 @@ func (s *Store) RestoreInto(r io.Reader) error {
 	for {
 		ops, err := decodeRecord(br)
 		if err == io.EOF {
+			s.recomputeLive()
 			return nil
 		}
 		if err != nil {
@@ -363,6 +560,24 @@ func (s *Store) RestoreInto(r io.Reader) error {
 			b[op.Key] = op.Value
 		}
 	}
+}
+
+// recomputeLive rebuilds liveBytes from the bucket maps. Open and
+// RestoreInto use it; steady-state maintenance is incremental in Apply.
+func (s *Store) recomputeLive() {
+	var n int64
+	for name, b := range s.buckets {
+		for k, v := range b {
+			n += liveRecordLen(name, k, v)
+		}
+	}
+	s.liveBytes = n
+}
+
+// liveRecordLen is the encoded size of the single-put record a compacted
+// log (or Snapshot) holds for this entry.
+func liveRecordLen(bucket, key string, value []byte) int64 {
+	return int64(8 + payloadLen([]Op{{Bucket: bucket, Key: key, Value: value}}))
 }
 
 // --- WAL encoding ---
@@ -493,11 +708,16 @@ func decodeRecord(r *bufio.Reader) ([]Op, error) {
 }
 
 type walWriter struct {
-	f *os.File
-	w *bufio.Writer
+	path string
+	f    *os.File
+	w    *bufio.Writer
+	err  error // sticky: a failed compaction swap left the writer unusable
 }
 
 func (wal *walWriter) append(ops []Op) error {
+	if wal.err != nil {
+		return wal.err
+	}
 	if _, err := wal.w.Write(encodeRecord(ops)); err != nil {
 		return fmt.Errorf("kvstore: appending to log: %w", err)
 	}
@@ -507,7 +727,24 @@ func (wal *walWriter) append(ops []Op) error {
 	return nil
 }
 
+func (wal *walWriter) sync() error {
+	if wal.err != nil {
+		return wal.err
+	}
+	if err := wal.w.Flush(); err != nil {
+		return fmt.Errorf("kvstore: flushing log: %w", err)
+	}
+	if err := wal.f.Sync(); err != nil {
+		return fmt.Errorf("kvstore: fsyncing log: %w", err)
+	}
+	return nil
+}
+
 func (wal *walWriter) close() error {
+	if wal.err != nil {
+		wal.f.Close()
+		return wal.err
+	}
 	if err := wal.w.Flush(); err != nil {
 		wal.f.Close()
 		return fmt.Errorf("kvstore: flushing log on close: %w", err)
@@ -518,29 +755,140 @@ func (wal *walWriter) close() error {
 	return nil
 }
 
-// rewrite truncates the log and writes one put per live key.
-func (wal *walWriter) rewrite(buckets map[string]map[string][]byte) error {
+// compactSuffix names the temp file Compact builds beside the live log.
+const compactSuffix = ".compact"
+
+// compactCrash, when non-nil, simulates a crash at named points inside a
+// compaction. A non-nil return aborts immediately and skips the cleanup
+// the real error paths perform — exactly the on-disk state a process
+// death at that point would leave — so tests can assert what a reopen
+// recovers at each stage. Points, in order: "begin", "record" (after each
+// record written to the temp file), "written", "delta", "synced",
+// "renamed".
+var compactCrash func(stage string) error
+
+func crashPoint(stage string) error {
+	if compactCrash == nil {
+		return nil
+	}
+	return compactCrash(stage)
+}
+
+// writeCompacted writes one put per live key of view, in sorted (bucket,
+// key) order, into a fresh <path>.compact file, and returns the open file,
+// its buffered writer, and the bytes written. The live log is untouched.
+// On error the temp file is removed — except at injected crash points,
+// which abort with no cleanup by design.
+func (wal *walWriter) writeCompacted(view map[string]map[string][]byte) (*os.File, *bufio.Writer, int64, error) {
+	if err := crashPoint("begin"); err != nil {
+		return nil, nil, 0, err
+	}
+	tmpPath := wal.path + compactSuffix
+	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("kvstore: creating compaction file: %w", err)
+	}
+	discard := func(err error) (*os.File, *bufio.Writer, int64, error) {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return nil, nil, 0, err
+	}
+	bw := bufio.NewWriter(tmp)
+	var crashed error
+	written, err := writeSortedRecords(bw, view, func() error {
+		crashed = crashPoint("record")
+		return crashed
+	})
+	if err != nil {
+		if crashed != nil {
+			return nil, nil, 0, crashed
+		}
+		return discard(fmt.Errorf("kvstore: writing compacted log: %w", err))
+	}
+	if err := crashPoint("written"); err != nil {
+		return nil, nil, 0, err
+	}
+	return tmp, bw, written, nil
+}
+
+// publishCompacted finishes a compaction: flush the live log, append its
+// post-cut suffix (delta bytes starting at offset cut — records that
+// landed while the view was being written) to the compacted file, fsync
+// it, atomically rename it over the live log, and move the writer to the
+// new file. The caller holds the store lock, so the delta is stable.
+// Failures before the rename remove the temp file and leave the live log
+// authoritative; failures after it poison the writer (wal.err), since
+// appends may no longer reach the file a reopen would read.
+func (wal *walWriter) publishCompacted(tmp *os.File, bw *bufio.Writer, cut, delta int64) (int64, error) {
+	tmpPath := wal.path + compactSuffix
+	discard := func(err error) (int64, error) {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return 0, err
+	}
 	if err := wal.w.Flush(); err != nil {
-		return fmt.Errorf("kvstore: flushing before compaction: %w", err)
+		return discard(fmt.Errorf("kvstore: flushing live log before swap: %w", err))
 	}
-	if err := wal.f.Truncate(0); err != nil {
-		return fmt.Errorf("kvstore: truncating log: %w", err)
-	}
-	if _, err := wal.f.Seek(0, io.SeekStart); err != nil {
-		return fmt.Errorf("kvstore: rewinding log: %w", err)
-	}
-	wal.w.Reset(wal.f)
-	for name, b := range buckets {
-		for k, v := range b {
-			if _, err := wal.w.Write(encodeRecord([]Op{{Bucket: name, Key: k, Value: v}})); err != nil {
-				return fmt.Errorf("kvstore: rewriting log: %w", err)
-			}
+	if delta > 0 {
+		if _, err := io.Copy(bw, io.NewSectionReader(wal.f, cut, delta)); err != nil {
+			return discard(fmt.Errorf("kvstore: carrying writes into compacted log: %w", err))
 		}
 	}
-	if err := wal.w.Flush(); err != nil {
-		return fmt.Errorf("kvstore: flushing compacted log: %w", err)
+	if err := crashPoint("delta"); err != nil {
+		return 0, err
 	}
-	return nil
+	if err := bw.Flush(); err != nil {
+		return discard(fmt.Errorf("kvstore: flushing compacted log: %w", err))
+	}
+	if err := tmp.Sync(); err != nil {
+		return discard(fmt.Errorf("kvstore: fsyncing compacted log: %w", err))
+	}
+	if err := crashPoint("synced"); err != nil {
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return 0, fmt.Errorf("kvstore: closing compacted log: %w", err)
+	}
+	if err := os.Rename(tmpPath, wal.path); err != nil {
+		os.Remove(tmpPath)
+		return 0, fmt.Errorf("kvstore: swapping compacted log in: %w", err)
+	}
+	// The live log is now the compacted file; a crash from here on is safe
+	// (Open reads it), but this writer must move to the new inode before
+	// any further append.
+	if err := crashPoint("renamed"); err != nil {
+		wal.err = fmt.Errorf("kvstore: compacted log not reopened: %w", err)
+		return 0, wal.err
+	}
+	syncDir(wal.path)
+	f, err := os.OpenFile(wal.path, os.O_RDWR, 0o644)
+	if err != nil {
+		wal.err = fmt.Errorf("kvstore: reopening compacted log: %w", err)
+		return 0, wal.err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		wal.err = fmt.Errorf("kvstore: seeking compacted log end: %w", err)
+		return 0, wal.err
+	}
+	old := wal.f
+	wal.f = f
+	wal.w.Reset(f)
+	old.Close()
+	return delta, nil
+}
+
+// syncDir fsyncs the directory containing path so the rename itself is on
+// stable storage. Best-effort: some platforms refuse directory fsyncs, and
+// the swap is already atomic for every crash short of power loss.
+func syncDir(path string) {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
 }
 
 // replayWAL loads every intact record from f into s and truncates a torn

@@ -15,6 +15,26 @@ import (
 
 func newBufReader(b []byte) *bufio.Reader { return bufio.NewReader(bytes.NewReader(b)) }
 
+// has and count unwrap the accessor errors for tests running against live
+// stores, where any error is a test failure.
+func has(t *testing.T, s *Store, bucket, key string) bool {
+	t.Helper()
+	ok, err := s.Has(bucket, key)
+	if err != nil {
+		t.Fatalf("Has(%s/%s): %v", bucket, key, err)
+	}
+	return ok
+}
+
+func count(t *testing.T, s *Store, bucket string) int {
+	t.Helper()
+	n, err := s.Count(bucket)
+	if err != nil {
+		t.Fatalf("Count(%s): %v", bucket, err)
+	}
+	return n
+}
+
 func TestPutGetRoundTrip(t *testing.T) {
 	s := New()
 	if err := s.Put("users", "alice", []byte(`{"name":"alice"}`)); err != nil {
@@ -63,7 +83,7 @@ func TestDeleteRemoves(t *testing.T) {
 	if err := s.Delete("b", "k"); err != nil {
 		t.Fatal(err)
 	}
-	if s.Has("b", "k") {
+	if has(t, s, "b", "k") {
 		t.Error("key survived Delete")
 	}
 }
@@ -138,7 +158,7 @@ func TestApplyAtomicBatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.Has("b", "old") || !s.Has("b", "new") {
+	if has(t, s, "b", "old") || !has(t, s, "b", "new") {
 		t.Error("batch not fully applied")
 	}
 }
@@ -152,7 +172,7 @@ func TestApplyValidatesBeforeMutating(t *testing.T) {
 	if err == nil {
 		t.Fatal("Apply accepted invalid op")
 	}
-	if s.Has("b", "good") {
+	if has(t, s, "b", "good") {
 		t.Error("partial batch applied")
 	}
 }
@@ -162,10 +182,10 @@ func TestCountAndBuckets(t *testing.T) {
 	s.Put("users", "a", nil)
 	s.Put("users", "b", nil)
 	s.Put("txns", "1", nil)
-	if got := s.Count("users"); got != 2 {
+	if got := count(t, s, "users"); got != 2 {
 		t.Errorf("Count = %d, want 2", got)
 	}
-	if got := s.Buckets(); !reflect.DeepEqual(got, []string{"txns", "users"}) {
+	if got, err := s.Buckets(); err != nil || !reflect.DeepEqual(got, []string{"txns", "users"}) {
 		t.Errorf("Buckets = %v", got)
 	}
 }
@@ -187,6 +207,23 @@ func TestClosedStoreRejectsOps(t *testing.T) {
 	}
 	if _, err := s.Scan("b", ""); !errors.Is(err, ErrClosed) {
 		t.Errorf("Scan after Close = %v", err)
+	}
+	// Has, Count, Buckets, SizeStats, and Sync must report ErrClosed like
+	// every other accessor, not silently answer zero values.
+	if _, err := s.Has("b", "k"); !errors.Is(err, ErrClosed) {
+		t.Errorf("Has after Close = %v", err)
+	}
+	if _, err := s.Count("b"); !errors.Is(err, ErrClosed) {
+		t.Errorf("Count after Close = %v", err)
+	}
+	if _, err := s.Buckets(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Buckets after Close = %v", err)
+	}
+	if _, err := s.SizeStats(); !errors.Is(err, ErrClosed) {
+		t.Errorf("SizeStats after Close = %v", err)
+	}
+	if err := s.Sync(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Sync after Close = %v", err)
 	}
 }
 
@@ -235,14 +272,14 @@ func TestWALPersistence(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s2.Close()
-	if s2.Has("users", "alice") {
+	if has(t, s2, "users", "alice") {
 		t.Error("deleted key resurrected on replay")
 	}
 	v, err := s2.Get("users", "bob")
 	if err != nil || string(v) != "b" {
 		t.Errorf("bob = %q, %v", v, err)
 	}
-	if !s2.Has("txns", "1") {
+	if !has(t, s2, "txns", "1") {
 		t.Error("txns/1 lost on replay")
 	}
 }
@@ -272,7 +309,7 @@ func TestWALTornTailTruncated(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Open with torn tail: %v", err)
 	}
-	if !s2.Has("b", "intact") {
+	if !has(t, s2, "b", "intact") {
 		t.Error("intact record lost")
 	}
 	s2.Put("b", "after", []byte("2"))
@@ -284,7 +321,7 @@ func TestWALTornTailTruncated(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s3.Close()
-	if !s3.Has("b", "after") || !s3.Has("b", "intact") {
+	if !has(t, s3, "b", "after") || !has(t, s3, "b", "intact") {
 		t.Error("state lost after torn-tail recovery")
 	}
 }
@@ -306,6 +343,11 @@ func TestCompactShrinksLog(t *testing.T) {
 	if after.Size() >= before.Size() {
 		t.Errorf("Compact did not shrink log: %d -> %d", before.Size(), after.Size())
 	}
+	// The writer must have moved to the compacted file: appends after a
+	// compaction have to survive a reopen.
+	if err := s.Put("b", "post", []byte("survives")); err != nil {
+		t.Fatal(err)
+	}
 	s.Close()
 
 	s2, err := Open(path)
@@ -316,6 +358,9 @@ func TestCompactShrinksLog(t *testing.T) {
 	v, err := s2.Get("b", "hot")
 	if err != nil || string(v) != "version-99" {
 		t.Errorf("after compact+reopen: %q, %v", v, err)
+	}
+	if v, err := s2.Get("b", "post"); err != nil || string(v) != "survives" {
+		t.Errorf("post-compaction append lost: %q, %v", v, err)
 	}
 }
 
@@ -344,7 +389,7 @@ func TestSnapshotRestore(t *testing.T) {
 	if err != nil || string(v) != "a" {
 		t.Errorf("alice = %q, %v", v, err)
 	}
-	if !s2.Has("txns", "1") {
+	if !has(t, s2, "txns", "1") {
 		t.Error("txns lost in snapshot round-trip")
 	}
 }
@@ -413,7 +458,7 @@ func TestStoreStateMachineProperty(t *testing.T) {
 				model[key] = append([]byte(nil), o.Value...)
 			}
 		}
-		if s.Count("b") != len(model) {
+		if count(t, s, "b") != len(model) {
 			return false
 		}
 		for k, want := range model {
@@ -454,7 +499,7 @@ func TestConcurrentReadersWriters(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
-	if got := s.Count("b"); got != 8*200 {
+	if got := count(t, s, "b"); got != 8*200 {
 		t.Errorf("Count = %d, want %d", got, 8*200)
 	}
 }
@@ -635,7 +680,7 @@ func TestOpenCorruptTailAbsurdLength(t *testing.T) {
 		t.Fatalf("Open with absurd-length tail: %v", err)
 	}
 	defer s2.Close()
-	if !s2.Has("b", "intact") {
+	if !has(t, s2, "b", "intact") {
 		t.Error("intact prefix lost")
 	}
 	after, err := os.Stat(path)
@@ -673,10 +718,10 @@ func TestOpenCorruptTailBadCRC(t *testing.T) {
 		t.Fatalf("Open with bit-flipped tail: %v", err)
 	}
 	defer s2.Close()
-	if !s2.Has("b", "k1") {
+	if !has(t, s2, "b", "k1") {
 		t.Error("prefix record lost")
 	}
-	if s2.Has("b", "k2") {
+	if has(t, s2, "b", "k2") {
 		t.Error("corrupt record replayed")
 	}
 }
@@ -695,7 +740,7 @@ func TestApplyRejectsOversizedBatch(t *testing.T) {
 	if err := s.Apply([]Op{{Bucket: "b", Key: "k", Value: huge}}); !errors.Is(err, ErrBatchTooLarge) {
 		t.Fatalf("oversized Apply = %v, want ErrBatchTooLarge", err)
 	}
-	if s.Has("b", "k") {
+	if has(t, s, "b", "k") {
 		t.Error("rejected batch partially applied")
 	}
 	if err := s.Put("b", "small", []byte("v")); err != nil {
@@ -707,7 +752,372 @@ func TestApplyRejectsOversizedBatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s2.Close()
-	if !s2.Has("b", "small") {
+	if !has(t, s2, "b", "small") {
 		t.Error("small record lost")
+	}
+}
+
+// --- compaction: crash safety, determinism, accounting ------------------------
+
+// seedCompactable fills a store with overwrites so its log is much larger
+// than its live state, and returns the live state's expected entries.
+func seedCompactable(t *testing.T, s *Store) {
+	t.Helper()
+	for i := 0; i < 50; i++ {
+		if err := s.Put("b", "hot", []byte(fmt.Sprintf("version-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Put("b", "cold", []byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("other", "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func assertCompactableState(t *testing.T, s *Store) {
+	t.Helper()
+	if v, err := s.Get("b", "hot"); err != nil || string(v) != "version-49" {
+		t.Errorf("b/hot = %q, %v", v, err)
+	}
+	if v, err := s.Get("b", "cold"); err != nil || string(v) != "keep" {
+		t.Errorf("b/cold = %q, %v", v, err)
+	}
+	if v, err := s.Get("other", "k"); err != nil || string(v) != "v" {
+		t.Errorf("other/k = %q, %v", v, err)
+	}
+}
+
+// TestCompactCrashSafety is the regression for the truncate-before-write
+// data-loss bug: a crash injected at any point during Compact must reopen
+// to either the full pre-compaction state or the full compacted state —
+// never an empty or partial store. (The legacy implementation truncated
+// the live log in place before rewriting it, so a crash mid-compaction
+// destroyed the entire store.)
+func TestCompactCrashSafety(t *testing.T) {
+	stages := []struct {
+		stage   string
+		swapped bool // log already swapped for the compacted file?
+	}{
+		{"begin", false},
+		{"record", false},
+		{"written", false},
+		{"delta", false},
+		{"synced", false},
+		{"renamed", true},
+	}
+	for _, tc := range stages {
+		t.Run(tc.stage, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "store.wal")
+			s, err := Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seedCompactable(t, s)
+			pre, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			errCrash := errors.New("injected crash")
+			compactCrash = func(stage string) error {
+				if stage == tc.stage {
+					return errCrash
+				}
+				return nil
+			}
+			defer func() { compactCrash = nil }()
+			if err := s.Compact(); !errors.Is(err, errCrash) {
+				t.Fatalf("Compact = %v, want injected crash", err)
+			}
+			compactCrash = nil
+			// The process "died" here: recover purely from disk.
+			s2, err := Open(path)
+			if err != nil {
+				t.Fatalf("Open after crash at %s: %v", tc.stage, err)
+			}
+			defer s2.Close()
+			assertCompactableState(t, s2)
+			if _, err := os.Stat(path + compactSuffix); !os.IsNotExist(err) {
+				t.Errorf("stale compaction temp survived reopen: %v", err)
+			}
+			post, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.swapped && post.Size() >= pre.Size() {
+				t.Errorf("crash after rename: log %d bytes, want < pre-compaction %d", post.Size(), pre.Size())
+			}
+			if !tc.swapped && post.Size() != pre.Size() {
+				t.Errorf("crash before rename touched the live log: %d bytes, want %d", post.Size(), pre.Size())
+			}
+		})
+	}
+}
+
+// TestCompactCarriesConcurrentWrites: a write landing between the
+// compaction cut and the swap must survive into the compacted log.
+func TestCompactCarriesConcurrentWrites(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.wal")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedCompactable(t, s)
+	wrote := false
+	compactCrash = func(stage string) error {
+		// "written" fires after the frozen view hit the temp file but
+		// before the publish step: exactly the window where writers are
+		// not excluded.
+		if stage == "written" && !wrote {
+			wrote = true
+			if err := s.Put("b", "during", []byte("landed")); err != nil {
+				t.Errorf("Put during compaction: %v", err)
+			}
+		}
+		return nil
+	}
+	defer func() { compactCrash = nil }()
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	compactCrash = nil
+	if !wrote {
+		t.Fatal("hook never fired")
+	}
+	if v, err := s.Get("b", "during"); err != nil || string(v) != "landed" {
+		t.Fatalf("mid-compaction write lost from live store: %q, %v", v, err)
+	}
+	st, err := s.SizeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.AppendedBytes == 0 {
+		t.Error("carried-over delta not reflected in AppendedBytes")
+	}
+	s.Close()
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	assertCompactableState(t, s2)
+	if v, err := s2.Get("b", "during"); err != nil || string(v) != "landed" {
+		t.Fatalf("mid-compaction write lost from compacted log: %q, %v", v, err)
+	}
+}
+
+// TestCompactDeterministic: two stores holding identical live state via
+// different write histories compact to byte-identical log files (sorted
+// bucket/key order), the property that keeps replicated WALs comparable.
+func TestCompactDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	pathA := filepath.Join(dir, "a.wal")
+	pathB := filepath.Join(dir, "b.wal")
+	a, err := Open(pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(pathB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same final state, very different histories.
+	for i := 0; i < 20; i++ {
+		a.Put("x", fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i)))
+	}
+	a.Put("y", "only", []byte("z"))
+	for i := 19; i >= 0; i-- {
+		b.Put("x", fmt.Sprintf("k%d", i), []byte("overwritten"))
+	}
+	b.Put("y", "gone", []byte("tmp"))
+	b.Delete("y", "gone")
+	b.Put("y", "only", []byte("z"))
+	for i := 0; i < 20; i++ {
+		b.Put("x", fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i)))
+	}
+	if err := a.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	b.Close()
+	rawA, err := os.ReadFile(pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawB, err := os.ReadFile(pathB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rawA) == 0 {
+		t.Fatal("empty compacted log")
+	}
+	if !bytes.Equal(rawA, rawB) {
+		t.Fatalf("compacted logs differ: %d vs %d bytes", len(rawA), len(rawB))
+	}
+}
+
+// TestSizeStatsAccounting pins the incremental live-vs-appended math the
+// auto-compaction policy depends on.
+func TestSizeStatsAccounting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.wal")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	st, err := s.SizeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.JournalBytes != 0 || st.LiveBytes != 0 || st.AppendedBytes != 0 {
+		t.Fatalf("fresh store stats = %+v", st)
+	}
+	val := bytes.Repeat([]byte("v"), 64)
+	for i := 0; i < 100; i++ {
+		if err := s.Put("b", "hot", val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, _ = s.SizeStats()
+	single := liveRecordLen("b", "hot", val)
+	if st.LiveBytes != single {
+		t.Errorf("LiveBytes = %d, want one record (%d)", st.LiveBytes, single)
+	}
+	if st.JournalBytes != 100*single {
+		t.Errorf("JournalBytes = %d, want %d", st.JournalBytes, 100*single)
+	}
+	if st.AppendedBytes != st.JournalBytes {
+		t.Errorf("AppendedBytes = %d, want %d before any compaction", st.AppendedBytes, st.JournalBytes)
+	}
+	fi, _ := os.Stat(path)
+	if fi.Size() != st.JournalBytes {
+		t.Errorf("JournalBytes = %d, file is %d", st.JournalBytes, fi.Size())
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = s.SizeStats()
+	if st.JournalBytes != st.LiveBytes {
+		t.Errorf("after Compact journal %d != live %d", st.JournalBytes, st.LiveBytes)
+	}
+	if st.AppendedBytes != 0 {
+		t.Errorf("AppendedBytes = %d after quiet Compact, want 0", st.AppendedBytes)
+	}
+	if st.Compactions != 1 {
+		t.Errorf("Compactions = %d, want 1", st.Compactions)
+	}
+	if err := s.Delete("b", "hot"); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = s.SizeStats()
+	if st.LiveBytes != 0 {
+		t.Errorf("LiveBytes = %d after deleting the only key, want 0", st.LiveBytes)
+	}
+	if st.JournalBytes == 0 || st.AppendedBytes == 0 {
+		t.Errorf("delete record not accounted: %+v", st)
+	}
+	// A reopen recomputes the same numbers from the log.
+	s.Put("b", "back", val)
+	want, _ := s.SizeStats()
+	s.Close()
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, _ := s2.SizeStats()
+	if got.JournalBytes != want.JournalBytes || got.LiveBytes != want.LiveBytes {
+		t.Errorf("reopen stats %+v, want journal/live of %+v", got, want)
+	}
+}
+
+// TestSyncBarrier: Sync succeeds on durable and memory stores and the
+// synced state survives reopen.
+func TestSyncBarrier(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.wal")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	s.Close()
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if !has(t, s2, "b", "k") {
+		t.Error("synced write lost")
+	}
+	mem := New()
+	if err := mem.Sync(); err != nil {
+		t.Errorf("Sync on memory store: %v", err)
+	}
+}
+
+// TestOpenCleansStaleCompactTemp: a temp file left by a crashed compaction
+// must be removed on Open and never shadow the live log.
+func TestOpenCleansStaleCompactTemp(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.wal")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("b", "k", []byte("v"))
+	s.Close()
+	if err := os.WriteFile(path+compactSuffix, []byte("half-written garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open with stale temp: %v", err)
+	}
+	defer s2.Close()
+	if !has(t, s2, "b", "k") {
+		t.Error("live state lost")
+	}
+	if _, err := os.Stat(path + compactSuffix); !os.IsNotExist(err) {
+		t.Errorf("stale temp not removed: %v", err)
+	}
+}
+
+// BenchmarkCompact measures compacting a log that has grown to ~8x its
+// live state (the shape the auto-compaction policy fires on).
+func BenchmarkCompact(b *testing.B) {
+	const keys, overwrites = 256, 8
+	path := filepath.Join(b.TempDir(), "bench.wal")
+	s, err := Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	val := bytes.Repeat([]byte("x"), 128)
+	dirty := func() {
+		for v := 0; v < overwrites; v++ {
+			for k := 0; k < keys; k++ {
+				if err := s.Put("b", fmt.Sprintf("k%03d", k), val); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dirty()
+		b.StartTimer()
+		if err := s.Compact(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

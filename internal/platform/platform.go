@@ -43,6 +43,17 @@ type Config struct {
 	EngineShards int    // user-keyed engine shards [recommend.DefaultShards]
 	StateDir     string // durable state root; empty = memory-only [""]
 
+	// CompactRatio enables automatic crash-safe compaction of every
+	// engine's community WAL: the journal is rewritten down to live state
+	// in the background whenever it exceeds CompactRatio times the encoded
+	// live size. Zero keeps compaction manual (Engine.CompactState), and
+	// it is meaningless without StateDir. Replicated deployments apply the
+	// ratio with eager follower defaults (smaller minimum size, tighter
+	// check interval): a follower journals every applied record AND
+	// rewrites whole shards on snapshot catch-up, so its WAL outgrows an
+	// owner's. [0]
+	CompactRatio float64
+
 	// ReplicateEngines gives every Buyer Agent Server its own engine
 	// instead of one shared in-process engine: each shard is owned by
 	// server shard%N, writes are routed to the owner, and every server's
@@ -147,6 +158,13 @@ func New(cfg Config) (*Platform, error) {
 			// Each engine journals its community under the state root and
 			// recovers it here, so a platform restart keeps every consumer.
 			opts = append(opts, recommend.WithPersistence(filepath.Join(cfg.StateDir, stateSub)))
+			if cfg.CompactRatio > 0 {
+				pol := recommend.CompactionPolicy{Ratio: cfg.CompactRatio}
+				if cfg.ReplicateEngines {
+					pol = recommend.FollowerCompactionPolicy(cfg.CompactRatio)
+				}
+				opts = append(opts, recommend.WithAutoCompaction(pol))
+			}
 		}
 		return opts
 	}

@@ -398,3 +398,86 @@ func TestReplicatedSeedCommunity(t *testing.T) {
 		}
 	}
 }
+
+// TestPlatformCompactRatioBoundsJournal: Config.CompactRatio plumbs an
+// automatic compaction policy into every replicated engine (with the eager
+// follower defaults), the journals converge under the configured ratio
+// while replication is live, and the compacted platform restarts warm.
+func TestPlatformCompactRatioBoundsJournal(t *testing.T) {
+	dir := t.TempDir()
+	const ratio = 2
+	cfg := Config{
+		Marketplaces: 1, BuyerServers: 2, ReplicateEngines: true,
+		StateDir: dir, CompactRatio: ratio, Products: demoProducts(),
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			p.Close()
+		}
+	}()
+
+	// A community fat enough that repeated overwrite rounds push every
+	// engine's journal past the follower policy's minimum size.
+	profiles := make([]*profile.Profile, 0, 300)
+	for i := 0; i < 300; i++ {
+		pr := profile.NewProfile(fmt.Sprintf("user-%03d", i))
+		for _, prod := range demoProducts() {
+			if err := pr.Observe(prod.Evidence(profile.BehaviourBuy)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		profiles = append(profiles, pr)
+	}
+	for round := 0; round < 8; round++ {
+		if err := p.SeedCommunity(profiles, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Compaction runs asynchronously; keep a trickle of writes flowing (as
+	// any live platform has) until both engines report a bounded journal.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if err := p.SeedCommunity(profiles[:8], nil); err != nil {
+			t.Fatal(err)
+		}
+		done := true
+		for _, e := range p.Engines {
+			st := e.Stats()
+			if st.Compactions == 0 || float64(st.JournalBytes) > ratio*float64(st.LiveBytes) {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			for i, e := range p.Engines {
+				t.Logf("engine %d stats: %+v", i, e.Stats())
+			}
+			t.Fatal("engine journals never converged under Config.CompactRatio")
+		}
+	}
+
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	closed = true
+
+	// The compacted journals still recover the full community.
+	p2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	for i, e := range p2.Engines {
+		if got := e.Stats().Users; got != len(profiles) {
+			t.Errorf("engine %d recovered %d users, want %d", i, got, len(profiles))
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"agentrec/internal/kvstore"
 	"agentrec/internal/profile"
@@ -69,10 +70,24 @@ type Persister interface {
 	// ShardUsers lists the consumer ids stored in shard without loading
 	// profiles, so Users/Stats can answer for spilled shards cheaply.
 	ShardUsers(shard int) ([]string, error)
-	// Compact rewrites the journal down to live state.
+	// Compact rewrites the journal down to live state. Implementations
+	// must be crash-safe: a crash mid-compaction may lose the compaction
+	// but never acknowledged writes.
 	Compact() error
+	// SizeStats reports the journal's size accounting. The automatic
+	// compaction policy (WithAutoCompaction) keys off it, so it is called
+	// from write paths and must be cheap.
+	SizeStats() (JournalStats, error)
 	// Close flushes and releases the journal. Must be idempotent.
 	Close() error
+}
+
+// JournalStats is a Persister's size accounting: how big the journal is
+// now versus what it would shrink to if compacted.
+type JournalStats struct {
+	JournalBytes int64  // bytes in the append-only journal
+	LiveBytes    int64  // bytes the journal would hold after a compaction
+	Compactions  uint64 // successful compactions since the journal opened
 }
 
 // WithPersistence journals the engine's community to a WAL-backed kvstore
@@ -123,8 +138,14 @@ func (e *Engine) setErr(err error) {
 }
 
 // Close releases the engine's Persister (a no-op for memory-only engines)
-// and reports any sticky persistence error. It is idempotent.
+// and reports any sticky persistence error. It is idempotent. An in-flight
+// background compaction is allowed to finish first — it is bounded by one
+// journal rewrite — so Close never races the log swap.
 func (e *Engine) Close() error {
+	e.compactGate.Lock()
+	e.compactClosed = true
+	e.compactGate.Unlock()
+	e.compactWG.Wait()
 	var err error
 	if e.persist != nil {
 		err = e.persist.Close()
@@ -136,13 +157,22 @@ func (e *Engine) Close() error {
 }
 
 // CompactState rewrites the persistence journal down to live state,
-// shrinking a WAL that accumulated profile overwrites. ErrNoPersistence
-// for memory-only engines.
+// shrinking a WAL that accumulated profile overwrites and replication
+// catch-up rewrites. ErrNoPersistence for memory-only engines. Callers can
+// invoke it manually at any time; WithAutoCompaction calls it from a
+// background goroutine when the journal outgrows the live state
+// (compact.go). Either path is counted in Stats.
 func (e *Engine) CompactState() error {
 	if e.persist == nil {
 		return ErrNoPersistence
 	}
-	return e.persist.Compact()
+	start := time.Now()
+	if err := e.persist.Compact(); err != nil {
+		return err
+	}
+	e.compactions.Add(1)
+	e.compactNanos.Store(time.Since(start).Nanoseconds())
+	return nil
 }
 
 // --- residency: touch, fault-in, LRU eviction ---
@@ -559,5 +589,17 @@ func (kp *kvPersister) ShardUsers(shard int) ([]string, error) {
 }
 
 func (kp *kvPersister) Compact() error { return kp.store.Compact() }
+
+func (kp *kvPersister) SizeStats() (JournalStats, error) {
+	st, err := kp.store.SizeStats()
+	if err != nil {
+		return JournalStats{}, err
+	}
+	return JournalStats{
+		JournalBytes: st.JournalBytes,
+		LiveBytes:    st.LiveBytes,
+		Compactions:  st.Compactions,
+	}, nil
+}
 
 func (kp *kvPersister) Close() error { return kp.store.Close() }

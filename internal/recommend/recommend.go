@@ -67,6 +67,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"agentrec/internal/catalog"
 	"agentrec/internal/profile"
@@ -189,6 +190,16 @@ type Engine struct {
 	resMu       sync.Mutex    // guards residentN and stickyErr
 	residentN   int
 	stickyErr   error
+
+	// Automatic journal compaction (zero Ratio = manual only; compact.go).
+	compactPolicy CompactionPolicy
+	compactCheck  atomic.Uint64 // journaled writes, for CheckEvery sampling
+	compacting    atomic.Bool   // single-flight guard for the background rewrite
+	compactGate   sync.Mutex    // orders compactWG.Add against Close's Wait
+	compactClosed bool          // Close ran: no new background compactions
+	compactWG     sync.WaitGroup
+	compactions   atomic.Uint64
+	compactNanos  atomic.Int64 // duration of the most recent compaction
 
 	// Replication (nil unless WithJournalFeed; see replicate.go).
 	feed    *journalFeed
@@ -344,6 +355,7 @@ func (e *Engine) installShardProfiles(sh *shard, profs []*profile.Profile) error
 	}
 	sh.mu.Unlock()
 	e.maybeEvict(sh)
+	e.noteJournalWrite()
 	return nil
 }
 
@@ -403,6 +415,7 @@ func (e *Engine) RecordPurchase(userID, productID string) error {
 	sh.mu.Unlock()
 	e.sellFor(productID).bump(productID)
 	e.maybeEvict(sh)
+	e.noteJournalWrite()
 	return nil
 }
 
@@ -439,6 +452,12 @@ type Stats struct {
 	Users             int
 	IndexedCategories int
 	Postings          int
+
+	// Journal sizing and compaction (all zero without persistence).
+	JournalBytes   int64         // persistence journal size on disk
+	LiveBytes      int64         // what the journal would compact down to
+	Compactions    uint64        // CompactState successes (manual + automatic)
+	LastCompaction time.Duration // duration of the most recent compaction
 }
 
 // Stats returns the engine's current sizing. Spilled shards are counted
@@ -462,6 +481,7 @@ func (e *Engine) Stats() Stats {
 		st.Users += len(ids)
 	}
 	st.IndexedCategories, st.Postings = e.index.size()
+	e.fillJournalStats(&st)
 	return st
 }
 

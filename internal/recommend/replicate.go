@@ -424,6 +424,10 @@ func (e *Engine) applyShardSnapshot(shard int, snap *ShardSnapshot) error {
 	e.index.updateBatch(changes)
 	sh.mu.Unlock()
 	e.maybeEvict(sh)
+	// One snapshot catch-up rewrites a whole shard's durable buckets — the
+	// follower pressure that outgrows WALs fastest — so evaluate the
+	// compaction policy unconditionally rather than sampling.
+	e.checkCompaction()
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"os"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -114,6 +115,28 @@ func walSnapshot(t *testing.T, dir string) []byte {
 		t.Fatal(err)
 	}
 	return buf.Bytes()
+}
+
+// compactedWAL compacts dir's community journal and returns the raw log
+// file bytes.
+func compactedWAL(t *testing.T, dir string) []byte {
+	t.Helper()
+	path := filepath.Join(dir, CommunityWAL)
+	store, err := kvstore.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
 }
 
 // TestWriteRoutingOwnsShards pins the ownership map: a routed write lands
@@ -273,6 +296,19 @@ func TestReplicatedWALByteIdentical(t *testing.T) {
 			}
 			if !bytes.Equal(snap0, snap1) {
 				t.Fatalf("WAL live states differ: %d vs %d bytes", len(snap0), len(snap1))
+			}
+			// Stronger than live-state equality: compacting both journals
+			// must leave byte-identical log FILES — the sorted (bucket, key)
+			// rewrite erases each replica's distinct write history.
+			raws := make([][]byte, len(dirs))
+			for i, dir := range dirs {
+				raws[i] = compactedWAL(t, dir)
+			}
+			if len(raws[0]) == 0 {
+				t.Fatal("empty compacted WAL")
+			}
+			if !bytes.Equal(raws[0], raws[1]) {
+				t.Fatalf("compacted WALs differ: %d vs %d bytes", len(raws[0]), len(raws[1]))
 			}
 		})
 	}
