@@ -76,6 +76,8 @@ func main() {
 		key          = flag.String("key", "agentrec-demo-platform-key", "shared HMAC platform key")
 		stateDir     = flag.String("state-dir", "", "durable state directory (empty = memory-only)")
 		compactRatio = flag.Float64("compact-ratio", 4, "auto-compact the engine WAL when it exceeds this multiple of the live state (0 = manual only; needs -state-dir)")
+		ann          = flag.Bool("ann", false, "LSH approximate neighbour search for large categories (shortlist + exact re-rank; off = exact scans)")
+		annProbes    = flag.Int("ann-probes", 0, "LSH multi-probe width per hash table (0 = engine default; needs -ann)")
 		verbose      = flag.Bool("trace", false, "print every workflow step")
 	)
 	flag.Parse()
@@ -102,12 +104,12 @@ func main() {
 		repl = &replConfig{servers: servers, self: self, shards: *shards, interval: *replPull}
 	}
 
-	if err := run(*markets, *coordAddr, *marketIP, *basePort, *buyerAddr, *httpAddr, *key, *stateDir, *shards, *compactRatio, repl, *verbose); err != nil {
+	if err := run(*markets, *coordAddr, *marketIP, *basePort, *buyerAddr, *httpAddr, *key, *stateDir, *shards, *compactRatio, *ann, *annProbes, repl, *verbose); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(markets int, coordAddr, marketIP string, basePort int, buyerAddr, httpAddr, key, stateDir string, shards int, compactRatio float64, repl *replConfig, verbose bool) error {
+func run(markets int, coordAddr, marketIP string, basePort int, buyerAddr, httpAddr, key, stateDir string, shards int, compactRatio float64, ann bool, annProbes int, repl *replConfig, verbose bool) error {
 	// ctx is the process lifecycle: cancelled on shutdown so in-flight
 	// forwarded writes abort instead of stalling on their send timeout.
 	ctx, cancel := context.WithCancel(context.Background())
@@ -189,6 +191,12 @@ func run(markets int, coordAddr, marketIP string, basePort int, buyerAddr, httpA
 		return err
 	}
 	engineOpts := []recommend.Option{recommend.WithNeighbors(10), recommend.WithShards(shards)}
+	if ann {
+		engineOpts = append(engineOpts, recommend.WithNeighborSearch(recommend.SearchLSH))
+		if annProbes > 0 {
+			engineOpts = append(engineOpts, recommend.WithANNProbes(annProbes))
+		}
+	}
 	buyerOpts := []buyerserver.Option{
 		buyerserver.WithTracer(tracer),
 		buyerserver.WithMarkets(marketAddrs...),

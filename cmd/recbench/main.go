@@ -1,9 +1,12 @@
-// recbench regenerates the experiment tables recorded in EXPERIMENTS.md.
+// recbench regenerates the experiment tables recorded in EXPERIMENTS.md
+// and the neighbour-search perf snapshot in BENCH_recommend.json.
 //
 // Usage:
 //
-//	recbench -run=all            # every experiment, full size
-//	recbench -run=C5 -quick      # one experiment, small fixtures
+//	recbench -run=all                      # every experiment, full size
+//	recbench -run=C5 -quick                # one experiment, small fixtures
+//	recbench -neighbors -out BENCH_recommend.json
+//	recbench -neighbors -quick             # small sizes, no 1M build
 //
 // Experiments: F4.4 (learning rate), F4.5 (discard gate), C2 (mobile agent
 // vs RPC network cost), C4 (sparsity and cold start), C5 (technique
@@ -14,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"agentrec/internal/experiments"
@@ -22,7 +26,19 @@ import (
 func main() {
 	run := flag.String("run", "all", "experiment id or 'all' ("+strings.Join(experiments.Names(), ", ")+")")
 	quick := flag.Bool("quick", false, "small fixtures (fast, noisier numbers)")
+	neighbors := flag.Bool("neighbors", false, "run the exact-vs-LSH neighbour search benchmark instead of the paper experiments")
+	sizes := flag.String("sizes", "", "comma-separated community sizes for -neighbors (default 10000,100000,1000000)")
+	out := flag.String("out", "BENCH_recommend.json", "output file for the -neighbors JSON snapshot")
+	queries := flag.Int("queries", 24, "query users per size for -neighbors")
 	flag.Parse()
+
+	if *neighbors {
+		if err := runNeighbors(*sizes, *out, *queries, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, "recbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	size := experiments.Full
 	if *quick {
@@ -32,4 +48,35 @@ func main() {
 		fmt.Fprintln(os.Stderr, "recbench:", err)
 		os.Exit(1)
 	}
+}
+
+func runNeighbors(sizesCSV, out string, queries int, quick bool) error {
+	ns := []int{10000, 100000, 1000000}
+	if quick {
+		ns = []int{2000, 10000}
+	}
+	if sizesCSV != "" {
+		ns = ns[:0]
+		for _, f := range strings.Split(sizesCSV, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n <= 0 {
+				return fmt.Errorf("bad -sizes entry %q", f)
+			}
+			ns = append(ns, n)
+		}
+	}
+	bench, err := experiments.NeighborSearchBench(os.Stdout, ns, queries)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := experiments.WriteNeighborBench(f, bench); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return f.Close()
 }

@@ -82,13 +82,13 @@ func TestReadmeFlagReferenceMatchesPlatformd(t *testing.T) {
 // Replication and Durability sections the README links into.
 func TestReadmePromisedSectionsExist(t *testing.T) {
 	readme := readDoc(t, "README.md")
-	for _, want := range []string{"examples/quickstart", "-state-dir", "-buyer-peers", "DESIGN.md"} {
+	for _, want := range []string{"examples/quickstart", "-state-dir", "-buyer-peers", "-ann", "DESIGN.md"} {
 		if !strings.Contains(readme, want) {
 			t.Errorf("README.md does not mention %q", want)
 		}
 	}
 	design := readDoc(t, "DESIGN.md")
-	for _, want := range []string{"## Replication", "## Durability", "prof/<shard>", "purch/<shard>", "sell/<shard>"} {
+	for _, want := range []string{"## Replication", "## Durability", "## Neighbor search", "prof/<shard>", "purch/<shard>", "sell/<shard>", "BENCH_recommend.json"} {
 		if !strings.Contains(design, want) {
 			t.Errorf("DESIGN.md does not contain %q", want)
 		}

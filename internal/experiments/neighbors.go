@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"runtime"
+	"time"
+
+	"agentrec/internal/catalog"
+	"agentrec/internal/profile"
+	"agentrec/internal/recommend"
+)
+
+// The neighbour-search benchmark: the recorded perf trajectory for the
+// read path (BENCH_recommend.json). It measures CF's neighbour search —
+// exact posting-list scan vs LSH shortlist + exact re-rank — on synthetic
+// single-category communities of increasing size, because
+// candidates-per-category is exactly the variable the read path is linear
+// in. Recall@10 is measured against the exact ranking on the same engine,
+// so the trade the ANN path makes is a number in the committed snapshot,
+// not a claim.
+
+// NeighborPoint is one community size's measurements.
+type NeighborPoint struct {
+	Candidates    int     `json:"candidates"`
+	ExactNsOp     float64 `json:"exact_ns_op"`
+	ExactAllocsOp float64 `json:"exact_allocs_op"`
+	LSHNsOp       float64 `json:"lsh_ns_op"`
+	LSHAllocsOp   float64 `json:"lsh_allocs_op"`
+	Speedup       float64 `json:"speedup"`       // exact ns / lsh ns
+	RecallAt10    float64 `json:"recall_at_10"`  // mean |lsh ∩ exact| / |exact| over queries
+	BuildSeconds  float64 `json:"build_seconds"` // community install incl. incremental LSH upkeep
+}
+
+// NeighborBench is the BENCH_recommend.json document.
+type NeighborBench struct {
+	Benchmark  string          `json:"benchmark"`
+	K          int             `json:"k"`
+	Queries    int             `json:"queries"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	Points     []NeighborPoint `json:"points"`
+}
+
+// neighborCommunity synthesizes n consumer profiles in one hot category
+// with planted cluster structure (so "most similar" is meaningful): each
+// consumer perturbs one of nclusters taste centers and adds personal noise
+// terms. Deterministic in seed.
+func neighborCommunity(n int, seed uint64) []*profile.Profile {
+	rng := rand.New(rand.NewPCG(seed, seed^0xda7a))
+	const (
+		nclusters   = 64
+		centerTerms = 12
+		noiseTerms  = 4
+		vocab       = 4000
+	)
+	centers := make([][]string, nclusters)
+	weights := make([][]float64, nclusters)
+	for c := range centers {
+		centers[c] = make([]string, centerTerms)
+		weights[c] = make([]float64, centerTerms)
+		for i := range centers[c] {
+			centers[c][i] = fmt.Sprintf("t%04d", rng.IntN(vocab))
+			weights[c][i] = 0.7 + 0.6*rng.Float64()
+		}
+	}
+	profs := make([]*profile.Profile, n)
+	for u := range profs {
+		c := u % nclusters
+		terms := make(map[string]float64, centerTerms+noiseTerms)
+		for i, t := range centers[c] {
+			terms[t] = weights[c][i] * (0.7 + 0.6*rng.Float64())
+		}
+		for i := 0; i < noiseTerms; i++ {
+			terms[fmt.Sprintf("t%04d", rng.IntN(vocab))] += 0.3 + 0.4*rng.Float64()
+		}
+		p := profile.NewProfile(fmt.Sprintf("u%07d", u))
+		if err := p.Observe(profile.Evidence{
+			Category: "hot", Terms: terms, Behaviour: profile.BehaviourBuy,
+		}); err != nil {
+			panic(err) // static evidence: cannot fail
+		}
+		profs[u] = p
+	}
+	return profs
+}
+
+// measureNeighbors times mode over the target set, returning mean ns/op,
+// mean heap allocations/op, and the per-target top-k id sets.
+func measureNeighbors(e *recommend.Engine, targets []string, mode recommend.NeighborSearch, reps int) (nsOp, allocsOp float64, tops []map[string]bool, err error) {
+	tops = make([]map[string]bool, len(targets))
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	ops := 0
+	for r := 0; r < reps; r++ {
+		for i, u := range targets {
+			nbs, nerr := e.Neighbors(u, "hot", mode)
+			if nerr != nil {
+				return 0, 0, nil, nerr
+			}
+			ops++
+			if r == 0 {
+				set := make(map[string]bool, len(nbs))
+				for _, nb := range nbs {
+					set[nb.UserID] = true
+				}
+				tops[i] = set
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	return float64(elapsed.Nanoseconds()) / float64(ops),
+		float64(ms1.Mallocs-ms0.Mallocs) / float64(ops),
+		tops, nil
+}
+
+// NeighborSearchBench builds one engine per size (LSH maintained
+// incrementally during install; exact and LSH queried on the same engine)
+// and records the comparison. queries targets are spread across clusters.
+func NeighborSearchBench(w io.Writer, sizes []int, queries int) (*NeighborBench, error) {
+	if queries <= 0 {
+		queries = 24
+	}
+	out := &NeighborBench{
+		Benchmark:  "neighbor-search exact vs lsh (one hot category)",
+		K:          10,
+		Queries:    queries,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	fmt.Fprintf(w, "Neighbour search: exact vs LSH (k=10, %d queries)\n", queries)
+	fmt.Fprintf(w, "%12s %14s %14s %9s %10s %12s\n",
+		"candidates", "exact ns/op", "lsh ns/op", "speedup", "recall@10", "build")
+	for _, n := range sizes {
+		profs := neighborCommunity(n, 1)
+		e, err := recommend.Open(catalog.New(),
+			recommend.WithShards(64),
+			recommend.WithNeighborSearch(recommend.SearchLSH),
+		)
+		if err != nil {
+			return nil, err
+		}
+		built := time.Now()
+		const batch = 50000
+		for i := 0; i < len(profs); i += batch {
+			j := min(i+batch, len(profs))
+			if err := e.SetProfiles(profs[i:j]); err != nil {
+				return nil, err
+			}
+		}
+		buildSecs := time.Since(built).Seconds()
+
+		rng := rand.New(rand.NewPCG(7, 7))
+		targets := make([]string, queries)
+		for i := range targets {
+			targets[i] = profs[rng.IntN(len(profs))].UserID
+		}
+		// Enough repetitions to stabilize small sizes without making the
+		// exact scan at 1M take minutes.
+		reps := max(1, 100000/n)
+
+		exactNs, exactAllocs, exactTop, err := measureNeighbors(e, targets, recommend.SearchExact, reps)
+		if err != nil {
+			return nil, err
+		}
+		lshNs, lshAllocs, lshTop, err := measureNeighbors(e, targets, recommend.SearchLSH, reps)
+		if err != nil {
+			return nil, err
+		}
+		var recall float64
+		counted := 0
+		for i := range targets {
+			if len(exactTop[i]) == 0 {
+				continue
+			}
+			hit := 0
+			for id := range exactTop[i] {
+				if lshTop[i][id] {
+					hit++
+				}
+			}
+			recall += float64(hit) / float64(len(exactTop[i]))
+			counted++
+		}
+		if counted > 0 {
+			recall /= float64(counted)
+		}
+		pt := NeighborPoint{
+			Candidates:    n,
+			ExactNsOp:     exactNs,
+			ExactAllocsOp: exactAllocs,
+			LSHNsOp:       lshNs,
+			LSHAllocsOp:   lshAllocs,
+			Speedup:       exactNs / lshNs,
+			RecallAt10:    recall,
+			BuildSeconds:  buildSecs,
+		}
+		out.Points = append(out.Points, pt)
+		fmt.Fprintf(w, "%12d %14.0f %14.0f %8.1fx %10.3f %11.1fs\n",
+			n, pt.ExactNsOp, pt.LSHNsOp, pt.Speedup, pt.RecallAt10, pt.BuildSeconds)
+		profs = nil
+		runtime.GC()
+	}
+	return out, nil
+}
+
+// WriteNeighborBench marshals the bench document as indented JSON.
+func WriteNeighborBench(w io.Writer, b *NeighborBench) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}

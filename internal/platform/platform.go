@@ -64,6 +64,16 @@ type Config struct {
 	// ReplicationPull is the background tail interval [100ms].
 	ReplicationPull time.Duration
 
+	// NeighborSearch selects how every engine's CF neighbour search
+	// enumerates candidates: recommend.SearchExact (default) scans the
+	// exact per-category posting lists; recommend.SearchLSH shortlists
+	// large categories through the random-hyperplane LSH index and
+	// re-ranks the shortlist exactly. [recommend.SearchExact]
+	NeighborSearch recommend.NeighborSearch
+	// ANNProbes is the LSH multi-probe width per hash table; zero keeps
+	// the engine default. Only meaningful with SearchLSH. [0]
+	ANNProbes int
+
 	Tracer     *trace.Recorder    // optional workflow tracer
 	EngineOpts []recommend.Option // tuning for every engine
 	BuyerOpts  []buyerserver.Option
@@ -153,6 +163,12 @@ func New(cfg Config) (*Platform, error) {
 		var opts []recommend.Option
 		if cfg.EngineShards > 0 {
 			opts = append(opts, recommend.WithShards(cfg.EngineShards))
+		}
+		if cfg.NeighborSearch != recommend.SearchExact {
+			opts = append(opts, recommend.WithNeighborSearch(cfg.NeighborSearch))
+		}
+		if cfg.ANNProbes > 0 {
+			opts = append(opts, recommend.WithANNProbes(cfg.ANNProbes))
 		}
 		if cfg.StateDir != "" {
 			// Each engine journals its community under the state root and

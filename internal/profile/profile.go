@@ -375,16 +375,28 @@ func Unmarshal(data []byte) (*Profile, error) {
 	return &p, nil
 }
 
+// DenseDims is the dimensionality of Summary.Dense, the feature-hashed
+// projection of the sparse profile vector. 64 dimensions keep a projection
+// at 256 bytes while preserving cosine structure well enough for
+// locality-sensitive hashing (the projection shortlists; exact scoring
+// still runs on the sparse vector).
+const DenseDims = 64
+
 // Summary is a cheap immutable fingerprint of a profile: the flattened
 // similarity vector plus the per-category preference values, computed once.
 // The recommendation engine builds one per SetProfile and hands it to the
 // per-category candidate index, so neighbour search never re-flattens or
-// re-sums stored profiles pair by pair.
+// re-sums stored profiles pair by pair. Norm and Dense are derived from Vec
+// at the same time: the Euclidean norm feeds cosine scoring without a
+// per-pair re-sum, and the signed feature-hash projection feeds the
+// random-hyperplane ANN index.
 type Summary struct {
 	UserID string
 	Vec    map[string]float64 // Vector(), flattened once
 	Prefs  map[string]float64 // category -> PreferenceValue; only > 0 entries
 	Terms  int                // TermCount()
+	Norm   float64            // Euclidean norm of Vec, cached at construction
+	Dense  []float32          // DenseDims-wide signed feature hash of Vec
 }
 
 // Summary computes the profile's fingerprint. The returned maps are
@@ -401,7 +413,55 @@ func (p *Profile) Summary() *Summary {
 			s.Prefs[name] = v
 		}
 	}
+	var sq float64
+	dense := make([]float32, DenseDims)
+	for term, w := range s.Vec {
+		sq += w * w
+		dim, sign := denseSlot(term)
+		if sign {
+			dense[dim] += float32(w)
+		} else {
+			dense[dim] -= float32(w)
+		}
+	}
+	s.Norm = math.Sqrt(sq)
+	s.Dense = dense
 	return s
+}
+
+// denseSlot hashes a term to its projection dimension and sign (fnv-1a
+// 64-bit: low bits pick the dimension, the next bit the sign). The signed
+// "hashing trick" makes colliding terms cancel in expectation, so the dense
+// dot product is an unbiased estimate of the sparse one.
+func denseSlot(term string) (dim int, positive bool) {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(term); i++ {
+		h ^= uint64(term[i])
+		h *= 1099511628211
+	}
+	return int(h % DenseDims), h>>63 == 0
+}
+
+// Equal reports whether two summaries describe identical profile content:
+// same flattened vector, term for term and weight for weight. The derived
+// fields (Prefs, Norm, Dense) are deliberately not compared — they are
+// float sums over Vec in map iteration order, so two computations of the
+// same content can differ in the last ulp. Identical Vec content makes
+// them equivalent. The replication catch-up path uses Equal to skip index
+// churn for consumers a shard snapshot did not actually change.
+func (s *Summary) Equal(o *Summary) bool {
+	if s == nil || o == nil {
+		return s == o
+	}
+	if s.UserID != o.UserID || s.Terms != o.Terms || len(s.Vec) != len(o.Vec) {
+		return false
+	}
+	for k, v := range s.Vec {
+		if w, ok := o.Vec[k]; !ok || w != v {
+			return false
+		}
+	}
+	return true
 }
 
 // TermCount reports the total number of weighted terms in the profile,

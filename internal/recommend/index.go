@@ -3,6 +3,7 @@ package recommend
 import (
 	"iter"
 	"sync"
+	"sync/atomic"
 
 	"agentrec/internal/profile"
 	"agentrec/internal/similarity"
@@ -29,12 +30,20 @@ import (
 // keyed per consumer.
 type categoryIndex struct {
 	shards []*indexShard
+	// ann enables the LSH shortlist layer (ann.go); nil = exact only.
+	// Set once at engine construction, before any postings exist.
+	ann *annState
+	// writes counts posting-map mutations since construction. The paged
+	// catch-up path is asserted against it: re-applying an unchanged shard
+	// snapshot must not rebuild the index (Stats.IndexWrites).
+	writes atomic.Uint64
 }
 
 type indexShard struct {
 	mu       sync.RWMutex
 	postings map[string]map[string]similarity.Candidate // category -> userID -> candidate
 	cache    map[string][]similarity.Candidate          // per-category list, invalidated on write
+	ann      map[string]*annCat                         // category -> LSH buckets (used when index.ann != nil)
 }
 
 func newCategoryIndex(nshards int) *categoryIndex {
@@ -43,6 +52,7 @@ func newCategoryIndex(nshards int) *categoryIndex {
 		ix.shards[i] = &indexShard{
 			postings: make(map[string]map[string]similarity.Candidate),
 			cache:    make(map[string][]similarity.Candidate),
+			ann:      make(map[string]*annCat),
 		}
 	}
 	return ix
@@ -50,6 +60,50 @@ func newCategoryIndex(nshards int) *categoryIndex {
 
 func (ix *categoryIndex) shardFor(category string) *indexShard {
 	return ix.shards[fnv32a(category)%uint32(len(ix.shards))]
+}
+
+// removeLocked drops userID's posting for cat, and its ANN bucket entries
+// with it. No-op (and no write counted) when the posting does not exist.
+// Caller holds s.mu for writing.
+func (ix *categoryIndex) removeLocked(s *indexShard, cat, userID string) {
+	m := s.postings[cat]
+	if m == nil {
+		return
+	}
+	old, ok := m[userID]
+	if !ok {
+		return
+	}
+	if ix.ann != nil {
+		s.annRemoveLocked(ix.ann, cat, old)
+	}
+	delete(m, userID)
+	if len(m) == 0 {
+		delete(s.postings, cat)
+	}
+	delete(s.cache, cat)
+	ix.writes.Add(1)
+}
+
+// installLocked installs or replaces cand's posting for cat, keeping the
+// ANN buckets in step. Caller holds s.mu for writing.
+func (ix *categoryIndex) installLocked(s *indexShard, cat string, cand similarity.Candidate) {
+	m := s.postings[cat]
+	if m == nil {
+		m = make(map[string]similarity.Candidate)
+		s.postings[cat] = m
+	}
+	if ix.ann != nil {
+		if old, ok := m[cand.UserID]; ok {
+			s.annRemoveLocked(ix.ann, cat, old)
+		}
+	}
+	m[cand.UserID] = cand
+	if ix.ann != nil {
+		s.annInstallLocked(ix.ann, cat, cand)
+	}
+	delete(s.cache, cat)
+	ix.writes.Add(1)
 }
 
 // update applies one SetProfile transition: remove the consumer's postings
@@ -66,26 +120,16 @@ func (ix *categoryIndex) update(prev, sum *profile.Summary) {
 			}
 			s := ix.shardFor(cat)
 			s.mu.Lock()
-			if m := s.postings[cat]; m != nil {
-				delete(m, sum.UserID)
-				if len(m) == 0 {
-					delete(s.postings, cat)
-				}
-				delete(s.cache, cat)
-			}
+			ix.removeLocked(s, cat, sum.UserID)
 			s.mu.Unlock()
 		}
 	}
 	for cat, ty := range sum.Prefs {
 		s := ix.shardFor(cat)
 		s.mu.Lock()
-		m := s.postings[cat]
-		if m == nil {
-			m = make(map[string]similarity.Candidate)
-			s.postings[cat] = m
-		}
-		m[sum.UserID] = similarity.Candidate{UserID: sum.UserID, Vec: sum.Vec, Ty: ty}
-		delete(s.cache, cat)
+		ix.installLocked(s, cat, similarity.Candidate{
+			UserID: sum.UserID, Vec: sum.Vec, Ty: ty, Norm: sum.Norm, Dense: sum.Dense,
+		})
 		s.mu.Unlock()
 	}
 }
@@ -125,7 +169,10 @@ func (ix *categoryIndex) updateBatch(changes []postingChange) {
 			s := ix.shardFor(cat)
 			byBucket[s] = append(byBucket[s], op{
 				cat: cat, userID: ch.sum.UserID,
-				cand: similarity.Candidate{UserID: ch.sum.UserID, Vec: ch.sum.Vec, Ty: ty},
+				cand: similarity.Candidate{
+					UserID: ch.sum.UserID, Vec: ch.sum.Vec, Ty: ty,
+					Norm: ch.sum.Norm, Dense: ch.sum.Dense,
+				},
 			})
 		}
 	}
@@ -133,21 +180,10 @@ func (ix *categoryIndex) updateBatch(changes []postingChange) {
 		s.mu.Lock()
 		for _, o := range ops {
 			if o.remove {
-				if m := s.postings[o.cat]; m != nil {
-					delete(m, o.userID)
-					if len(m) == 0 {
-						delete(s.postings, o.cat)
-					}
-				}
+				ix.removeLocked(s, o.cat, o.userID)
 			} else {
-				m := s.postings[o.cat]
-				if m == nil {
-					m = make(map[string]similarity.Candidate)
-					s.postings[o.cat] = m
-				}
-				m[o.userID] = o.cand
+				ix.installLocked(s, o.cat, o.cand)
 			}
-			delete(s.cache, o.cat)
 		}
 		s.mu.Unlock()
 	}

@@ -161,6 +161,55 @@ func WithShards(n int) Option {
 	}
 }
 
+// NeighborSearch selects how CF's neighbour search enumerates candidates.
+type NeighborSearch int
+
+// Neighbor search modes. SearchExact scans the exact per-category posting
+// list (or the whole community when the gate is ablated) — the F4.5
+// experiment path and the online recall baseline. SearchLSH shortlists
+// candidates through the random-hyperplane LSH index and re-ranks the
+// shortlist with the same exact scorer; approximate in who gets scored,
+// exact in how.
+const (
+	SearchExact NeighborSearch = iota
+	SearchLSH
+)
+
+// String returns the mode name.
+func (m NeighborSearch) String() string {
+	switch m {
+	case SearchExact:
+		return "exact"
+	case SearchLSH:
+		return "lsh"
+	default:
+		return fmt.Sprintf("search(%d)", int(m))
+	}
+}
+
+// WithNeighborSearch sets the engine's default neighbour search mode
+// (default SearchExact). With SearchLSH the engine maintains per-category
+// LSH buckets incrementally inside the same critical sections as the
+// candidate index, and queries over large categories score only a
+// shortlisted fraction of the community; small categories and gate-ablated
+// queries still scan exactly. Engine.Neighbors overrides the mode per
+// call, which is how recall against the exact baseline is measured online.
+func WithNeighborSearch(m NeighborSearch) Option {
+	return func(e *Engine) { e.search = m }
+}
+
+// WithANNProbes sets the multi-probe width of the LSH shortlist: how many
+// buckets per hash table a query inspects (default
+// similarity.DefaultProbes). More probes raise recall and shortlist size;
+// only meaningful with WithNeighborSearch(SearchLSH).
+func WithANNProbes(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.annProbes = n
+		}
+	}
+}
+
 // Engine holds the consumer community's profiles and transaction history
 // and answers recommendation requests. Safe for concurrent use: state is
 // partitioned into user-keyed shards and reads run against immutable
@@ -175,6 +224,8 @@ type Engine struct {
 	hybridW   float64
 	gate      bool
 	nshards   int
+	search    NeighborSearch // default neighbour search mode
+	annProbes int            // multi-probe width when search is SearchLSH
 
 	shards []*shard       // community state, fnv(userID) % nshards
 	sells  []*sellShard   // sell counts, fnv(productID) % nshards
@@ -227,6 +278,7 @@ func Open(cat *catalog.Catalog, opts ...Option) (*Engine, error) {
 		hybridW:   0.6,
 		gate:      true,
 		nshards:   DefaultShards,
+		annProbes: similarity.DefaultProbes,
 	}
 	for _, opt := range opts {
 		opt(e)
@@ -238,6 +290,15 @@ func Open(cat *catalog.Catalog, opts ...Option) (*Engine, error) {
 		e.sells[i] = newSellShard(i)
 	}
 	e.index = newCategoryIndex(e.nshards)
+	if e.search == SearchLSH {
+		// Armed before recovery and replication ever install a posting, so
+		// warm restart and snapshot catch-up rebuild the hashes from the
+		// replicated summaries through the ordinary install path.
+		e.index.ann = &annState{
+			hasher: similarity.NewHasher(similarity.DefaultTables, annSeed),
+			probes: e.annProbes,
+		}
+	}
 	e.ext = newHistory(e.nshards)
 	if e.feedCap > 0 {
 		feed, err := newJournalFeed(e.nshards, e.feedCap)
@@ -452,6 +513,7 @@ type Stats struct {
 	Users             int
 	IndexedCategories int
 	Postings          int
+	IndexWrites       uint64 // posting mutations since construction (catch-up cost gauge)
 
 	// Journal sizing and compaction (all zero without persistence).
 	JournalBytes   int64         // persistence journal size on disk
@@ -481,6 +543,7 @@ func (e *Engine) Stats() Stats {
 		st.Users += len(ids)
 	}
 	st.IndexedCategories, st.Postings = e.index.size()
+	st.IndexWrites = e.index.writes.Load()
 	e.fillJournalStats(&st)
 	return st
 }
@@ -533,40 +596,80 @@ func neighborCategory(p *profile.Profile, category string) string {
 	return ""
 }
 
-// neighbors runs the streaming neighbour search for the target entry. When
-// the discard gate is live (tolerance below 1) and the target has evidence
-// in the category, the per-category posting list is an exact substitute
-// for the whole community — every consumer missing from it would be gated
-// out anyway (Ty = 0 against Tx > 0). Otherwise fall back to scanning the
-// snapshot.
+// neighbors runs the streaming neighbour search for the target entry in
+// the engine's configured search mode.
 func (e *Engine) neighbors(snap *Snapshot, st *stored, cat string, tol float64) ([]similarity.Neighbor, error) {
-	tx := st.sum.Prefs[cat]
-	if cat != "" && tol < 1 && tx > 0 {
-		return similarity.TopKStream(st.prof.UserID, st.sum.Vec, tx, tol, e.indexCandidates(snap, cat), e.k)
-	}
-	return similarity.TopKStream(st.prof.UserID, st.sum.Vec, tx, tol, snap.candidates(cat), e.k)
+	return e.neighborsMode(snap, st, cat, tol, e.search)
 }
 
-// indexCandidates streams the category's posting list reconciled against
-// snap: the live index only enumerates candidate ids; vectors and
-// preference values are taken from the snapshot's stored summaries, so
-// scoring is always consistent with the view the rest of the request sees
-// even while SetProfile runs concurrently. Consumers the snapshot does not
-// know (installed after it was taken) are skipped. The remaining skew is
-// enumeration-only and transient, in both directions: a consumer whose
-// category activity was first indexed after the snapshot was assembled may
-// be missed, and one whose posting was concurrently removed is dropped
-// even though the snapshot still holds them. A candidate is never
-// mis-scored; on a quiet community the posting list matches the snapshot
-// exactly (TestIndexedNeighborsMatchFullScan).
+// neighborsMode is neighbors with the search mode explicit. When the
+// discard gate is live (tolerance below 1) and the target has evidence in
+// the category, the per-category posting list is an exact substitute for
+// the whole community — every consumer missing from it would be gated out
+// anyway (Ty = 0 against Tx > 0). In SearchLSH mode a sufficiently large
+// category is further shortlisted through the LSH buckets before the exact
+// re-rank; everything the gate or scorer sees is identical, only the
+// candidate enumeration narrows. Otherwise fall back to scanning the
+// snapshot.
+func (e *Engine) neighborsMode(snap *Snapshot, st *stored, cat string, tol float64, mode NeighborSearch) ([]similarity.Neighbor, error) {
+	tx := st.sum.Prefs[cat]
+	if cat == "" || tol >= 1 || tx <= 0 {
+		return similarity.TopKStream(st.prof.UserID, st.sum.Vec, tx, tol, snap.candidates(cat), e.k)
+	}
+	if mode == SearchLSH {
+		if q := e.index.shortlist(cat, st.sum.Dense); q != nil {
+			defer q.release()
+			return similarity.TopKStream(st.prof.UserID, st.sum.Vec, tx, tol, e.reconciled(snap, cat, q.seq()), e.k)
+		}
+	}
+	return similarity.TopKStream(st.prof.UserID, st.sum.Vec, tx, tol, e.indexCandidates(snap, cat), e.k)
+}
+
+// Neighbors exposes the CF neighbour search directly: the k most similar
+// consumers to userID with respect to category (or their top category when
+// empty), in the given search mode regardless of the engine default. This
+// is the online recall surface — comparing SearchLSH against SearchExact
+// on the same engine measures shortlist recall with zero test scaffolding —
+// and what cmd/recbench's neighbour benchmarks drive.
+func (e *Engine) Neighbors(userID, category string, mode NeighborSearch) ([]similarity.Neighbor, error) {
+	snap := e.Snapshot()
+	st := snap.stored(userID)
+	if st == nil {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownUser, userID)
+	}
+	cat := neighborCategory(st.prof, category)
+	tol := e.tolerance
+	if !e.gate {
+		tol = 1
+	}
+	return e.neighborsMode(snap, st, cat, tol, mode)
+}
+
+// indexCandidates streams the category's full posting list reconciled
+// against snap.
+func (e *Engine) indexCandidates(snap *Snapshot, cat string) iter.Seq[similarity.Candidate] {
+	return e.reconciled(snap, cat, e.index.candidates(cat))
+}
+
+// reconciled streams index-derived candidates (the full posting list or an
+// LSH shortlist of it) reconciled against snap: the index only enumerates
+// candidates; vectors and preference values are taken from the snapshot's
+// stored summaries, so scoring is always consistent with the view the rest
+// of the request sees even while SetProfile runs concurrently. Consumers
+// the snapshot does not know (installed after it was taken) are skipped.
+// The remaining skew is enumeration-only and transient, in both
+// directions: a consumer whose category activity was first indexed after
+// the snapshot was assembled may be missed, and one whose posting was
+// concurrently removed is dropped even though the snapshot still holds
+// them. A candidate is never mis-scored; on a quiet community the posting
+// list matches the snapshot exactly (TestIndexedNeighborsMatchFullScan).
 //
 // Under shard spilling a candidate may live in a shard the snapshot never
 // materialized (it was spilled when the snapshot was taken). Its posting
 // is then used as-is rather than faulting the shard in: a spilled shard
 // accepts no writes, so its postings are exactly its durable state — the
 // same values a fault-in would reload.
-func (e *Engine) indexCandidates(snap *Snapshot, cat string) iter.Seq[similarity.Candidate] {
-	inner := e.index.candidates(cat)
+func (e *Engine) reconciled(snap *Snapshot, cat string, inner iter.Seq[similarity.Candidate]) iter.Seq[similarity.Candidate] {
 	return func(yield func(similarity.Candidate) bool) {
 		for c := range inner {
 			st, known := snap.peek(c.UserID)
@@ -584,7 +687,10 @@ func (e *Engine) indexCandidates(snap *Snapshot, cat string) iter.Seq[similarity
 			if ty <= 0 {
 				continue
 			}
-			if !yield(similarity.Candidate{UserID: c.UserID, Vec: st.sum.Vec, Ty: ty}) {
+			if !yield(similarity.Candidate{
+				UserID: c.UserID, Vec: st.sum.Vec, Ty: ty,
+				Norm: st.sum.Norm, Dense: st.sum.Dense,
+			}) {
 				return
 			}
 		}

@@ -392,7 +392,12 @@ func (e *Engine) applyShardSnapshot(shard int, snap *ShardSnapshot) error {
 	}
 	// Reconcile the candidate index: consumers gone from the shard lose
 	// their postings (an empty replacement summary removes without
-	// installing), everyone else transitions prev -> new.
+	// installing), everyone else transitions prev -> new. A consumer whose
+	// profile content the snapshot did not change produces no transition
+	// at all — steady-state catch-up of a fat shard (most snapshots repeat
+	// most profiles) touches only the postings that actually moved instead
+	// of rebuilding the whole index, so paged bootstraps cannot stall the
+	// pull loop on index churn (asserted via Stats.IndexWrites).
 	changes := make([]postingChange, 0, len(newProfiles))
 	for id, old := range sh.profiles {
 		if _, still := newProfiles[id]; !still {
@@ -403,6 +408,9 @@ func (e *Engine) applyShardSnapshot(shard int, snap *ShardSnapshot) error {
 		var prev *profile.Summary
 		if old := sh.profiles[st.prof.UserID]; old != nil {
 			prev = old.sum
+			if prev.Equal(st.sum) {
+				continue // identical content: postings already canonical
+			}
 		}
 		changes = append(changes, postingChange{prev: prev, sum: st.sum})
 	}

@@ -29,7 +29,13 @@ import (
 // shrunken frame budget.
 func fatProfile(userID string, terms int) *profile.Profile {
 	p := profile.NewProfile(userID)
-	ev := profile.Evidence{Category: "laptop", Terms: make(map[string]float64, terms)}
+	ev := profile.Evidence{
+		Category: "laptop", Terms: make(map[string]float64, terms),
+		// A real behaviour so the evidence carries weight: zero-quality
+		// evidence yields empty summaries, which never enter the candidate
+		// index — and the bounded-rebuild assertion below counts postings.
+		Behaviour: profile.BehaviourBuy,
+	}
 	for i := 0; i < terms; i++ {
 		ev.Terms[fmt.Sprintf("term-%s-%04d", userID, i)] = float64(i%7) + 0.5
 	}
@@ -196,6 +202,26 @@ func TestColdFollowerPagedBootstrapByteIdentical(t *testing.T) {
 				if err := e.Err(); err != nil {
 					t.Fatal(err)
 				}
+			}
+
+			// A second, cursor-less replicator re-pages the same snapshots.
+			// Every summary is content-identical, so the bounded rebuild must
+			// skip them all: zero candidate-index writes, not a full rebuild
+			// per catch-up.
+			w0 := follower.Stats().IndexWrites
+			if w0 == 0 {
+				t.Fatal("bootstrap installed no index postings")
+			}
+			repl2, err := recommend.NewReplicator(follower, 1, []recommend.Peer{NewPeer(f.client, f.srv.Addr()), nil})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := repl2.Sync(ctx); err != nil {
+				t.Fatalf("identical re-bootstrap: %v", err)
+			}
+			repl2.Close()
+			if dw := follower.Stats().IndexWrites - w0; dw != 0 {
+				t.Fatalf("identical re-bootstrap rewrote %d postings; want 0 (unchanged summaries must be skipped)", dw)
 			}
 
 			// Close both engines and compare durable live state byte for byte.

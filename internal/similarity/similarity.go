@@ -19,7 +19,8 @@ import (
 	"fmt"
 	"iter"
 	"math"
-	"sort"
+	"slices"
+	"sync"
 
 	"agentrec/internal/profile"
 )
@@ -33,20 +34,33 @@ type Vec = map[string]float64
 // Cosine returns the cosine similarity of a and b in [0, 1] for
 // non-negative vectors; 0 when either is empty or zero.
 func Cosine(a, b Vec) float64 {
-	var dot, na, nb float64
+	na, nb := Norm(a), Norm(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}
+
+// Norm returns the Euclidean norm of v. Callers scoring one vector against
+// many candidates compute it once (profile.Summary caches it) instead of
+// letting Cosine re-sum it per pair.
+func Norm(v Vec) float64 {
+	var sq float64
+	for _, x := range v {
+		sq += x * x
+	}
+	return math.Sqrt(sq)
+}
+
+// Dot returns the sparse dot product of a and b.
+func Dot(a, b Vec) float64 {
+	var dot float64
 	for k, x := range a {
-		na += x * x
 		if y, ok := b[k]; ok {
 			dot += x * y
 		}
 	}
-	for _, y := range b {
-		nb += y * y
-	}
-	if na == 0 || nb == 0 {
-		return 0
-	}
-	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+	return dot
 }
 
 // Jaccard returns |keys(a) ∩ keys(b)| / |keys(a) ∪ keys(b)|, ignoring
@@ -176,11 +190,15 @@ type Neighbor struct {
 
 // Candidate is one consumer in a streaming neighbour search, carrying
 // precomputed profile data (see profile.Summary) so the ranking loop neither
-// re-flattens vectors nor re-sums preference values per pair.
+// re-flattens vectors nor re-sums preference values per pair. Norm and Dense
+// are optional precomputed acceleration data: a zero Norm makes TopKStream
+// recompute it from Vec, and Dense only matters to the ANN index.
 type Candidate struct {
 	UserID string
-	Vec    Vec     // flattened profile vector
-	Ty     float64 // preference value for the category under consideration
+	Vec    Vec       // flattened profile vector
+	Ty     float64   // preference value for the category under consideration
+	Norm   float64   // cached Euclidean norm of Vec (0 = unknown)
+	Dense  []float32 // shared profile.Summary.Dense projection (may be nil)
 }
 
 // TopK ranks candidates by PaperSimilarity against target with respect to
@@ -199,6 +217,48 @@ func TopK(target *profile.Profile, candidates []*profile.Profile, category strin
 	return TopKStream(target.UserID, target.Vector(), target.PreferenceValue(category), tolerance, seq, k)
 }
 
+// topkScratch is the pooled working set of one TopKStream call: the
+// bounded min-heap (or unbounded accumulator when k < 0). Pooling it keeps
+// the inner scoring loop at zero heap allocations per candidate — the
+// read-path hot loop runs at memory speed regardless of community size
+// (TestTopKStreamZeroAlloc pins this).
+type topkScratch struct {
+	heap []Neighbor
+}
+
+var topkPool = sync.Pool{New: func() any { return new(topkScratch) }}
+
+// worse reports whether a ranks strictly below b in the final order
+// (descending score, ties broken by ascending UserID). The bounded heap
+// keeps the worst retained neighbour at its root.
+func worse(a, b *Neighbor) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.UserID > b.UserID
+}
+
+// heapFix sifts the element at i of a min-by-rank heap (worst at root)
+// down to its place. Elements enter at the root by replacement, so only a
+// downward sift is ever needed.
+func heapFix(h []Neighbor, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h) && worse(&h[l], &h[min]) {
+			min = l
+		}
+		if r < len(h) && worse(&h[r], &h[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
 // TopKStream is TopK over a candidate stream instead of a materialized
 // profile slice, with the target pre-flattened: the recommendation engine
 // feeds it a per-category posting list or a shard snapshot so neighbour
@@ -206,11 +266,21 @@ func TopK(target *profile.Profile, candidates []*profile.Profile, category strin
 // match TopK exactly: the Fig 4.5 gate, the positive-score filter, and the
 // deterministic score-then-UserID ordering. Candidates whose UserID equals
 // targetID are skipped. k < 0 returns all.
+//
+// The scoring loop is allocation-free per candidate: the target norm is
+// computed once, candidate norms come precomputed on the Candidate (falling
+// back to a re-sum when absent), and survivors go through a pooled bounded
+// heap sized k instead of an append-everything-then-sort buffer.
 func TopKStream(targetID string, targetVec Vec, tx, tolerance float64, candidates iter.Seq[Candidate], k int) ([]Neighbor, error) {
 	if tolerance < 0 || tolerance > 1 {
 		return nil, fmt.Errorf("%w: %v", ErrBadThreshold, tolerance)
 	}
-	out := make([]Neighbor, 0, 16)
+	na := Norm(targetVec)
+	sc := topkPool.Get().(*topkScratch)
+	heap := sc.heap[:0]
+	if k >= 0 && cap(heap) < k {
+		heap = make([]Neighbor, 0, k)
+	}
 	for cand := range candidates {
 		if cand.UserID == targetID {
 			continue
@@ -218,20 +288,57 @@ func TopKStream(targetID string, targetVec Vec, tx, tolerance float64, candidate
 		if GateDiscards(tx, cand.Ty, tolerance) {
 			continue
 		}
-		score := Cosine(targetVec, cand.Vec)
-		if score <= 0 {
+		if na == 0 {
+			continue // empty target: every cosine is 0, filtered anyway
+		}
+		nb := cand.Norm
+		if nb == 0 {
+			nb = Norm(cand.Vec)
+			if nb == 0 {
+				continue
+			}
+		}
+		dot := Dot(targetVec, cand.Vec)
+		if dot <= 0 {
 			continue
 		}
-		out = append(out, Neighbor{UserID: cand.UserID, Score: score, Raw: score, Tx: tx, Ty: cand.Ty})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
+		score := dot / (na * nb)
+		n := Neighbor{UserID: cand.UserID, Score: score, Raw: score, Tx: tx, Ty: cand.Ty}
+		switch {
+		case k < 0 || len(heap) < k:
+			if k == 0 {
+				continue
+			}
+			heap = append(heap, n)
+			if k >= 0 && len(heap) == k {
+				// Heapify once, when the bound is first reached.
+				for i := len(heap)/2 - 1; i >= 0; i-- {
+					heapFix(heap, i)
+				}
+			}
+		case worse(&heap[0], &n):
+			heap[0] = n
+			heapFix(heap, 0)
 		}
-		return out[i].UserID < out[j].UserID
-	})
-	if k >= 0 && len(out) > k {
-		out = out[:k]
 	}
+	out := make([]Neighbor, len(heap))
+	copy(out, heap)
+	sc.heap = heap[:0]
+	topkPool.Put(sc)
+	slices.SortFunc(out, func(a, b Neighbor) int {
+		if a.Score != b.Score {
+			if a.Score > b.Score {
+				return -1
+			}
+			return 1
+		}
+		if a.UserID != b.UserID {
+			if a.UserID < b.UserID {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	})
 	return out, nil
 }
