@@ -33,6 +33,7 @@ import (
 
 	"agentrec/internal/buyerserver"
 	"agentrec/internal/catalog"
+	"agentrec/internal/ops"
 	"agentrec/internal/platform"
 	"agentrec/internal/recommend"
 	"agentrec/internal/trace"
@@ -172,6 +173,49 @@ func WithCompaction(ratio float64) Option {
 	return func(c *platform.Config) { c.CompactRatio = ratio }
 }
 
+// WithEvents turns on the platform's event plane: every engine and
+// replicator publishes structured ops events (journal appends, replication
+// lag transitions, compaction passes, recommendation deltas) onto one
+// process-wide bus, a heartbeat publishes a whole-platform Snapshot every
+// interval (DefaultEventsInterval when zero), and the buyer servers' HTTP
+// surface streams it all at GET /events. Consume in process with
+// Platform.Subscribe. Publishing is allocation-free and never blocks
+// engine writes; slow consumers lose oldest events with exact drop
+// accounting. See DESIGN.md "Event plane".
+func WithEvents(interval time.Duration) Option {
+	return func(c *platform.Config) {
+		c.Events = true
+		c.EventsInterval = interval
+	}
+}
+
+// Event-plane re-exports; see package ops for the full model.
+type (
+	// Event is one structured occurrence on the platform's event plane.
+	Event = ops.Event
+	// EventKind names an Event's payload variant.
+	EventKind = ops.Kind
+	// Snapshot is the unified whole-platform stats view served by
+	// Platform.Metrics, /metrics/snapshot, and the heartbeat.
+	Snapshot = ops.Snapshot
+	// Subscription is a live event feed from Platform.Subscribe; read it
+	// with Next until ops.ErrSubscriptionClosed.
+	Subscription = ops.Subscription
+)
+
+// Event kinds for Platform.Subscribe and the ?kinds= filter of GET /events.
+const (
+	KindSnapshot   = ops.KindSnapshot
+	KindRecDelta   = ops.KindRecDelta
+	KindJournal    = ops.KindJournal
+	KindLag        = ops.KindLag
+	KindCompaction = ops.KindCompaction
+	KindDropped    = ops.KindDropped
+)
+
+// DefaultEventsInterval is the heartbeat period WithEvents(0) selects.
+const DefaultEventsInterval = platform.DefaultEventsInterval
+
 // Engine re-exports; see package recommend for the full set.
 var (
 	// WithNeighbors sets the collaborative-filtering neighbourhood size.
@@ -262,6 +306,18 @@ func (p *Platform) MarketName(i int) string {
 // HttpA): registration, login, shopping tasks and recommendations as JSON
 // over HTTP.
 func (p *Platform) HTTPHandler() http.Handler { return p.inner.Buyer().HTTPHandler() }
+
+// Metrics returns the unified whole-platform stats snapshot — every buyer
+// server's engine sizing plus replication status when replicated. Works
+// with or without WithEvents.
+func (p *Platform) Metrics() Snapshot { return p.inner.Metrics() }
+
+// Subscribe attaches an in-process consumer to the event plane, filtered
+// to kinds (none = all). Requires WithEvents; the subscription closes when
+// ctx is cancelled.
+func (p *Platform) Subscribe(ctx context.Context, kinds ...EventKind) (*Subscription, error) {
+	return p.inner.Subscribe(ctx, kinds...)
+}
 
 // Hottest returns the trending merchandise of the window ending now — the
 // "weekly hottest merchandise" of the paper's future work (§5.2 item 2).

@@ -22,12 +22,20 @@
 //	curl -XPOST localhost:8080/tasks  -d '{"user_id":"alice","spec":{"kind":"query","query":{"category":"laptop"}}}'
 //	curl      'localhost:8080/recommendations?user=alice&category=laptop'
 //
+// With -events the daemon exposes its event plane: structured journal,
+// replication-lag, compaction, and recommendation-delta events plus
+// periodic whole-server snapshots, streamed at GET /events (SSE or
+// NDJSON) and summarized at GET /metrics/snapshot:
+//
+//	curl -N 'localhost:8080/events?kinds=lag,snapshot&format=sse'
+//
 // All hosts share one HMAC platform key (-key), matching the paper's
 // closed-domain security model.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -36,6 +44,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -45,6 +54,7 @@ import (
 	"agentrec/internal/catalog"
 	"agentrec/internal/coordinator"
 	"agentrec/internal/marketplace"
+	"agentrec/internal/ops"
 	"agentrec/internal/recommend"
 	"agentrec/internal/replnet"
 	"agentrec/internal/security"
@@ -58,8 +68,28 @@ import (
 type replConfig struct {
 	servers  []string
 	self     int
-	shards   int
 	interval time.Duration
+}
+
+// daemonConfig is everything run needs, filled from flags by main and
+// directly by tests.
+type daemonConfig struct {
+	markets        int
+	coordAddr      string
+	marketIP       string
+	basePort       int
+	buyerAddr      string
+	httpAddr       string
+	key            string
+	stateDir       string
+	shards         int
+	compactRatio   float64
+	ann            bool
+	annProbes      int
+	events         bool
+	eventsInterval time.Duration
+	repl           *replConfig
+	verbose        bool
 }
 
 func main() {
@@ -78,6 +108,8 @@ func main() {
 		compactRatio = flag.Float64("compact-ratio", 4, "auto-compact the engine WAL when it exceeds this multiple of the live state (0 = manual only; needs -state-dir)")
 		ann          = flag.Bool("ann", false, "LSH approximate neighbour search for large categories (shortlist + exact re-rank; off = exact scans)")
 		annProbes    = flag.Int("ann-probes", 0, "LSH multi-probe width per hash table (0 = engine default; needs -ann)")
+		events       = flag.Bool("events", false, "event plane: stream journal/lag/compaction/rec-delta events and snapshots at GET /events and /metrics/snapshot")
+		eventsEvery  = flag.Duration("events-interval", 5*time.Second, "snapshot heartbeat period on the event plane (needs -events)")
 		verbose      = flag.Bool("trace", false, "print every workflow step")
 	)
 	flag.Parse()
@@ -101,21 +133,76 @@ func main() {
 		if self < 0 {
 			log.Fatalf("-buyer-peers %q does not contain -buyer %s", *buyerPeers, *buyerAddr)
 		}
-		repl = &replConfig{servers: servers, self: self, shards: *shards, interval: *replPull}
+		repl = &replConfig{servers: servers, self: self, interval: *replPull}
 	}
 
-	if err := run(*markets, *coordAddr, *marketIP, *basePort, *buyerAddr, *httpAddr, *key, *stateDir, *shards, *compactRatio, *ann, *annProbes, repl, *verbose); err != nil {
+	// One signal context owns the whole daemon: every long-running task
+	// (HTTP, replication, heartbeat, trace watcher) stops when it cancels,
+	// and run returns only after all of them have.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, daemonConfig{
+		markets:        *markets,
+		coordAddr:      *coordAddr,
+		marketIP:       *marketIP,
+		basePort:       *basePort,
+		buyerAddr:      *buyerAddr,
+		httpAddr:       *httpAddr,
+		key:            *key,
+		stateDir:       *stateDir,
+		shards:         *shards,
+		compactRatio:   *compactRatio,
+		ann:            *ann,
+		annProbes:      *annProbes,
+		events:         *events,
+		eventsInterval: *eventsEvery,
+		repl:           repl,
+		verbose:        *verbose,
+	}); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(markets int, coordAddr, marketIP string, basePort int, buyerAddr, httpAddr, key, stateDir string, shards int, compactRatio float64, ann bool, annProbes int, repl *replConfig, verbose bool) error {
+// taskGroup runs the daemon's long-lived tasks: the first failure cancels
+// the shared context for everyone, Wait blocks until all have returned and
+// reports that first failure. A hand-rolled errgroup so the module stays
+// dependency-free.
+type taskGroup struct {
+	wg     sync.WaitGroup
+	cancel context.CancelFunc
+	once   sync.Once
+	err    error
+}
+
+func newTaskGroup(parent context.Context) (*taskGroup, context.Context) {
+	ctx, cancel := context.WithCancel(parent)
+	return &taskGroup{cancel: cancel}, ctx
+}
+
+func (g *taskGroup) Go(fn func() error) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		if err := fn(); err != nil {
+			g.once.Do(func() { g.err = err })
+			g.cancel()
+		}
+	}()
+}
+
+func (g *taskGroup) Wait() error {
+	g.wg.Wait()
+	g.cancel()
+	return g.err
+}
+
+func run(ctx context.Context, cfg daemonConfig) error {
 	// ctx is the process lifecycle: cancelled on shutdown so in-flight
 	// forwarded writes abort instead of stalling on their send timeout.
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	signer := security.NewSigner([]byte(key))
+	signer := security.NewSigner([]byte(cfg.key))
 	client := atp.NewClient(signer)
 	tracer := trace.New()
 
@@ -142,7 +229,7 @@ func run(markets int, coordAddr, marketIP string, basePort int, buyerAddr, httpA
 
 	// Coordinator.
 	coordReg := aglet.NewRegistry()
-	coordHost, _, err := up(coordAddr, coordReg)
+	coordHost, _, err := up(cfg.coordAddr, coordReg)
 	if err != nil {
 		return err
 	}
@@ -150,13 +237,13 @@ func run(markets int, coordAddr, marketIP string, basePort int, buyerAddr, httpA
 	if err != nil {
 		return err
 	}
-	log.Printf("coordinator up at %s", coordAddr)
+	log.Printf("coordinator up at %s", cfg.coordAddr)
 
 	// Marketplaces with a demo catalog.
 	union := catalog.New()
 	var marketAddrs []string
-	for i := 0; i < markets; i++ {
-		addr := fmt.Sprintf("%s:%d", marketIP, basePort+i)
+	for i := 0; i < cfg.markets; i++ {
+		addr := fmt.Sprintf("%s:%d", cfg.marketIP, cfg.basePort+i)
 		reg := aglet.NewRegistry()
 		buyerserver.RegisterMBAType(reg)
 		host, _, err := up(addr, reg)
@@ -186,35 +273,44 @@ func run(markets int, coordAddr, marketIP string, basePort int, buyerAddr, httpA
 
 	// Buyer agent server, admitted through the Fig 4.1 workflow over TCP.
 	buyerReg := aglet.NewRegistry()
-	buyerHost, buyerSrv, err := up(buyerAddr, buyerReg)
+	buyerHost, buyerSrv, err := up(cfg.buyerAddr, buyerReg)
 	if err != nil {
 		return err
 	}
-	engineOpts := []recommend.Option{recommend.WithNeighbors(10), recommend.WithShards(shards)}
-	if ann {
+	self := 0
+	if cfg.repl != nil {
+		self = cfg.repl.self
+	}
+	var bus *ops.Bus
+	engineOpts := []recommend.Option{recommend.WithNeighbors(10), recommend.WithShards(cfg.shards)}
+	if cfg.events {
+		bus = ops.NewBus()
+		engineOpts = append(engineOpts, recommend.WithEventBus(bus, self))
+	}
+	if cfg.ann {
 		engineOpts = append(engineOpts, recommend.WithNeighborSearch(recommend.SearchLSH))
-		if annProbes > 0 {
-			engineOpts = append(engineOpts, recommend.WithANNProbes(annProbes))
+		if cfg.annProbes > 0 {
+			engineOpts = append(engineOpts, recommend.WithANNProbes(cfg.annProbes))
 		}
 	}
 	buyerOpts := []buyerserver.Option{
 		buyerserver.WithTracer(tracer),
 		buyerserver.WithMarkets(marketAddrs...),
 	}
-	if repl != nil {
+	if cfg.repl != nil {
 		engineOpts = append(engineOpts, recommend.WithJournalFeed(0))
 	}
-	if stateDir != "" {
-		engineOpts = append(engineOpts, recommend.WithPersistence(filepath.Join(stateDir, "engine")))
-		buyerOpts = append(buyerOpts, buyerserver.WithStateDir(filepath.Join(stateDir, "buyer-server-1")))
-		if compactRatio > 0 {
+	if cfg.stateDir != "" {
+		engineOpts = append(engineOpts, recommend.WithPersistence(filepath.Join(cfg.stateDir, "engine")))
+		buyerOpts = append(buyerOpts, buyerserver.WithStateDir(filepath.Join(cfg.stateDir, "buyer-server-1")))
+		if cfg.compactRatio > 0 {
 			// Keep the community WAL (and with it restart time) bounded. A
 			// replicated server journals every record it applies from peers
 			// and rewrites whole shards on snapshot catch-up, so it gets the
 			// eager follower policy.
-			pol := recommend.CompactionPolicy{Ratio: compactRatio}
-			if repl != nil {
-				pol = recommend.FollowerCompactionPolicy(compactRatio)
+			pol := recommend.CompactionPolicy{Ratio: cfg.compactRatio}
+			if cfg.repl != nil {
+				pol = recommend.FollowerCompactionPolicy(cfg.compactRatio)
 			}
 			engineOpts = append(engineOpts, recommend.WithAutoCompaction(pol))
 		}
@@ -224,77 +320,140 @@ func run(markets int, coordAddr, marketIP string, basePort int, buyerAddr, httpA
 		return err
 	}
 	defer engine.Close()
-	if stateDir != "" {
+	if cfg.stateDir != "" {
 		st := engine.Stats()
-		log.Printf("recovered community from %s: %d consumers, %d indexed categories", stateDir, st.Users, st.IndexedCategories)
+		log.Printf("recovered community from %s: %d consumers, %d indexed categories", cfg.stateDir, st.Users, st.IndexedCategories)
 	}
-	if repl != nil {
+	var replicator *recommend.Replicator
+	if cfg.repl != nil {
 		// Serve our shards' journal to peer buyer servers, route writes to
 		// shard owners, and tail the shards we do not own.
-		buyerSrv.SetJournalHandler(replnet.Handler(engine, repl.self, len(repl.servers)))
-		writers := make([]recommend.Writer, len(repl.servers))
-		peers := make([]recommend.Peer, len(repl.servers))
-		for i, addr := range repl.servers {
-			if i == repl.self {
+		buyerSrv.SetJournalHandler(replnet.Handler(engine, cfg.repl.self, len(cfg.repl.servers)))
+		writers := make([]recommend.Writer, len(cfg.repl.servers))
+		peers := make([]recommend.Peer, len(cfg.repl.servers))
+		for i, addr := range cfg.repl.servers {
+			if i == cfg.repl.self {
 				continue
 			}
 			writers[i] = replnet.NewWriter(ctx, client, addr)
 			peers[i] = replnet.NewPeer(client, addr)
 		}
-		router, err := recommend.NewRouter(engine, repl.self, writers)
+		router, err := recommend.NewRouter(engine, cfg.repl.self, writers)
 		if err != nil {
 			return err
 		}
 		buyerOpts = append(buyerOpts, buyerserver.WithCommunityWriter(router))
-		replicator, err := recommend.NewReplicator(engine, repl.self, peers, recommend.WithPullInterval(repl.interval))
+		ropts := []recommend.ReplicatorOption{recommend.WithPullInterval(cfg.repl.interval)}
+		if bus != nil {
+			ropts = append(ropts, recommend.WithReplicationEvents(bus, self))
+		}
+		replicator, err = recommend.NewReplicator(engine, cfg.repl.self, peers, ropts...)
 		if err != nil {
 			return err
 		}
-		replicator.Start()
 		defer replicator.Close()
 		log.Printf("replicating %d shards across %d buyer servers (self=%d, tail every %v)",
-			shards, len(repl.servers), repl.self, repl.interval)
+			cfg.shards, len(cfg.repl.servers), cfg.repl.self, cfg.repl.interval)
 	}
-	caProxy := buyerHost.RemoteProxy(coordAddr, coordinator.CAID)
+	// metrics is this server's slice of the unified stats view, served at
+	// /metrics/snapshot and published by the heartbeat.
+	metrics := func() ops.Snapshot {
+		sv := ops.ServerSnapshot{Server: self, Engine: engine.Stats().EventView()}
+		if replicator != nil {
+			rv := replicator.Stats().EventView()
+			sv.Replication = &rv
+		}
+		return ops.Snapshot{AtEpochMs: time.Now().UnixMilli(), Servers: []ops.ServerSnapshot{sv}}
+	}
+	buyerOpts = append(buyerOpts, buyerserver.WithMetrics(metrics))
+	if bus != nil {
+		buyerOpts = append(buyerOpts, buyerserver.WithEventBus(bus))
+	}
+	caProxy := buyerHost.RemoteProxy(cfg.coordAddr, coordinator.CAID)
 	buyer, err := buyerserver.New(buyerHost, buyerReg, engine, caProxy, buyerOpts...)
 	if err != nil {
 		return err
 	}
 	defer buyer.Close()
-	log.Printf("buyer agent server up at %s (BSMA arrived by dispatch)", buyerAddr)
+	log.Printf("buyer agent server up at %s (BSMA arrived by dispatch)", cfg.buyerAddr)
 
-	if verbose {
-		go watchTrace(tracer)
-	}
-
-	httpServer := &http.Server{Addr: httpAddr, Handler: buyer.HTTPHandler()}
-	errCh := make(chan error, 1)
-	go func() { errCh <- httpServer.ListenAndServe() }()
-	log.Printf("consumer web interface at http://%s", httpAddr)
-
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	select {
-	case err := <-errCh:
+	// Everything fallible is built; from here the daemon is one task group
+	// on one context. The first task failure — or the signal context —
+	// stops every task, and run returns only after all of them have.
+	httpServer := &http.Server{Addr: cfg.httpAddr, Handler: buyer.HTTPHandler()}
+	g, gctx := newTaskGroup(ctx)
+	g.Go(func() error {
+		err := httpServer.ListenAndServe()
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
 		return err
-	case sig := <-stop:
-		log.Printf("received %v, shutting down", sig)
+	})
+	g.Go(func() error {
+		<-gctx.Done()
+		if bus != nil {
+			// Event streams hold their HTTP handlers open; closing the bus
+			// drains them so Shutdown is not stuck behind SSE consumers.
+			bus.Close()
+		}
+		shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer shutCancel()
+		return httpServer.Shutdown(shutCtx)
+	})
+	if replicator != nil {
+		g.Go(func() error {
+			if err := replicator.Run(gctx); !errors.Is(err, context.Canceled) {
+				return err
+			}
+			return nil
+		})
 	}
-	cancel() // abort in-flight forwarded writes before draining HTTP
-	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
-	defer shutCancel()
-	return httpServer.Shutdown(shutCtx)
+	if bus != nil {
+		interval := cfg.eventsInterval
+		if interval <= 0 {
+			interval = 5 * time.Second
+		}
+		g.Go(func() error {
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-gctx.Done():
+					return nil
+				case <-t.C:
+				}
+				snap := metrics()
+				bus.Publish(ops.Event{Kind: ops.KindSnapshot, AtEpochMs: snap.AtEpochMs, Snapshot: &snap})
+			}
+		})
+		log.Printf("event plane on: GET http://%s/events (snapshot every %v)", cfg.httpAddr, interval)
+	}
+	if cfg.verbose {
+		g.Go(func() error {
+			watchTrace(gctx, tracer)
+			return nil
+		})
+	}
+	log.Printf("consumer web interface at http://%s", cfg.httpAddr)
+	return g.Wait()
 }
 
-// watchTrace tails the workflow recorder, printing each step once.
-func watchTrace(tracer *trace.Recorder) {
+// watchTrace tails the workflow recorder until ctx cancels, printing each
+// step once.
+func watchTrace(ctx context.Context, tracer *trace.Recorder) {
+	t := time.NewTicker(100 * time.Millisecond)
+	defer t.Stop()
 	seen := 0
 	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
 		events := tracer.Events()
 		for ; seen < len(events); seen++ {
 			log.Printf("step %s", events[seen])
 		}
-		time.Sleep(100 * time.Millisecond)
 	}
 }
 

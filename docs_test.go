@@ -9,9 +9,13 @@ package agentrec
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"regexp"
 	"strings"
 	"testing"
+
+	"agentrec/internal/ops"
+	"agentrec/internal/recommend"
 )
 
 func readDoc(t *testing.T, name string) string {
@@ -73,6 +77,66 @@ func TestReadmeFlagReferenceMatchesPlatformd(t *testing.T) {
 	for name := range defined {
 		if !documented[name] {
 			t.Errorf("platformd defines flag -%s which the README flag reference omits", name)
+		}
+	}
+}
+
+// jsonLeafTags collects the json tag names of every leaf (non-struct)
+// field reachable from v's type, recursing through pointers, slices, and
+// nested structs. Container fields (the nested struct itself) carry no
+// data of their own, so only leaves must appear in the documentation.
+func jsonLeafTags(t *testing.T, typ reflect.Type, into map[string]bool) {
+	t.Helper()
+	for typ.Kind() == reflect.Pointer || typ.Kind() == reflect.Slice || typ.Kind() == reflect.Map {
+		typ = typ.Elem()
+	}
+	if typ.Kind() != reflect.Struct {
+		return
+	}
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		elem := f.Type
+		for elem.Kind() == reflect.Pointer || elem.Kind() == reflect.Slice || elem.Kind() == reflect.Map {
+			elem = elem.Elem()
+		}
+		if elem.Kind() == reflect.Struct {
+			jsonLeafTags(t, elem, into)
+			continue
+		}
+		tag, _, _ := strings.Cut(f.Tag.Get("json"), ",")
+		if tag == "" || tag == "-" {
+			t.Errorf("%s.%s has no json tag: every wire field must be named explicitly", typ, f.Name)
+			continue
+		}
+		into[tag] = true
+	}
+}
+
+// TestDocsStatsFieldNamesInDesign checks that every wire field of the
+// stats structs and the ops event/snapshot model is named (in backticks)
+// in DESIGN.md's event-plane vocabulary, so the agent-first naming story
+// cannot drift from the shipped JSON.
+func TestDocsStatsFieldNamesInDesign(t *testing.T) {
+	design := readDoc(t, "DESIGN.md")
+	tags := make(map[string]bool)
+	for _, v := range []any{
+		recommend.Stats{},
+		recommend.ReplicationStats{},
+		recommend.ShardReplication{},
+		ops.Event{},
+		ops.Snapshot{},
+	} {
+		jsonLeafTags(t, reflect.TypeOf(v), tags)
+	}
+	if len(tags) < 20 {
+		t.Fatalf("walker found only %d tags, expected the full stats/event vocabulary", len(tags))
+	}
+	for tag := range tags {
+		if !strings.Contains(design, "`"+tag+"`") {
+			t.Errorf("DESIGN.md does not document wire field `%s`", tag)
 		}
 	}
 }

@@ -35,6 +35,7 @@ import (
 	"agentrec/internal/aglet"
 	"agentrec/internal/coordinator"
 	"agentrec/internal/kvstore"
+	"agentrec/internal/ops"
 	"agentrec/internal/recommend"
 	"agentrec/internal/security"
 	"agentrec/internal/trace"
@@ -103,6 +104,8 @@ type Server struct {
 	signer     *security.Signer
 	tokens     *security.TokenIssuer
 	challenger *security.Challenger
+	events     *ops.Bus            // event plane (nil = /events disabled; see events.go)
+	metrics    func() ops.Snapshot // /metrics/snapshot source (nil = own engine only)
 
 	mu       sync.Mutex
 	markets  []string

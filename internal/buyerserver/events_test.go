@@ -1,0 +1,245 @@
+package buyerserver
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"agentrec/internal/ops"
+)
+
+// sseEvent is one parsed server-sent event frame.
+type sseEvent struct {
+	id   uint64 // 0 when the frame carried no id line (drop markers)
+	kind string
+	ev   ops.Event
+}
+
+// readSSE parses count frames off an open SSE stream.
+func readSSE(t *testing.T, sc *bufio.Scanner, count int) []sseEvent {
+	t.Helper()
+	var out []sseEvent
+	cur := sseEvent{}
+	for len(out) < count && sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			out = append(out, cur)
+			cur = sseEvent{}
+		case strings.HasPrefix(line, "id: "):
+			id, err := strconv.ParseUint(line[len("id: "):], 10, 64)
+			if err != nil {
+				t.Fatalf("bad id line %q: %v", line, err)
+			}
+			cur.id = id
+		case strings.HasPrefix(line, "event: "):
+			cur.kind = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(line[len("data: "):]), &cur.ev); err != nil {
+				t.Fatalf("bad data line %q: %v", line, err)
+			}
+		default:
+			t.Fatalf("unexpected SSE line %q", line)
+		}
+	}
+	if len(out) < count {
+		t.Fatalf("stream ended after %d of %d events: %v", len(out), count, sc.Err())
+	}
+	return out
+}
+
+// TestEventsSSEResume is the wire-level resume contract: a client that
+// disconnects mid-stream and reconnects with Last-Event-ID sees every event
+// within the bus's replay retention exactly once — no gap, no duplicate —
+// and then keeps receiving live events.
+func TestEventsSSEResume(t *testing.T) {
+	bus := ops.NewBus()
+	defer bus.Close()
+	m := newMechanism(t, 1, WithEventBus(bus))
+	ts := httptest.NewServer(m.srv.HTTPHandler())
+	defer ts.Close()
+
+	publish := func(n int) {
+		for i := 0; i < n; i++ {
+			bus.Publish(ops.Event{Kind: ops.KindJournal, Journal: ops.JournalEvent{Shard: i, Seq: uint64(i + 1)}})
+		}
+	}
+	publish(10)
+
+	resp, err := http.Get(ts.URL + "/events?kinds=journal&format=sse&after=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+	first := readSSE(t, bufio.NewScanner(resp.Body), 4)
+	resp.Body.Close() // disconnect mid-stream
+
+	var lastID uint64
+	for i, ev := range first {
+		if ev.kind != "journal" || ev.id == 0 {
+			t.Fatalf("event %d: kind=%q id=%d, want a journal event with an id", i, ev.kind, ev.id)
+		}
+		if ev.id != ev.ev.Seq {
+			t.Fatalf("event %d: SSE id %d != payload seq %d", i, ev.id, ev.ev.Seq)
+		}
+		if ev.id <= lastID {
+			t.Fatalf("event %d: id %d not increasing past %d", i, ev.id, lastID)
+		}
+		lastID = ev.id
+	}
+
+	publish(5) // events the client misses while disconnected
+
+	req, err := http.NewRequest("GET", ts.URL+"/events?kinds=journal&format=sse", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Last-Event-ID", strconv.FormatUint(lastID, 10))
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	sc := bufio.NewScanner(resp2.Body)
+
+	// 6 replayed (the rest of the first batch + the missed batch), then one
+	// live event published while this stream is open.
+	resumed := readSSE(t, sc, 15-int(lastID))
+	bus.Publish(ops.Event{Kind: ops.KindJournal, Journal: ops.JournalEvent{Shard: 99, Seq: 99}})
+	live := readSSE(t, sc, 1)
+
+	want := lastID
+	for i, ev := range append(resumed, live[0]) {
+		want++
+		if ev.id != want {
+			t.Fatalf("resumed event %d: id %d, want %d (gap or duplicate)", i, ev.id, want)
+		}
+		if ev.kind == string(ops.KindDropped) {
+			t.Fatalf("resumed event %d: unexpected drop marker within ring retention", i)
+		}
+	}
+	if live[0].ev.Journal.Shard != 99 {
+		t.Fatalf("live event shard = %d, want 99", live[0].ev.Journal.Shard)
+	}
+}
+
+// TestEventsEndpointNDJSON covers the default framing and kind filtering.
+func TestEventsEndpointNDJSON(t *testing.T) {
+	bus := ops.NewBus()
+	defer bus.Close()
+	m := newMechanism(t, 1, WithEventBus(bus))
+	ts := httptest.NewServer(m.srv.HTTPHandler())
+	defer ts.Close()
+
+	bus.Publish(ops.Event{Kind: ops.KindJournal, Journal: ops.JournalEvent{Shard: 1, Seq: 1}})
+	bus.Publish(ops.Event{Kind: ops.KindLag, Lag: ops.LagEvent{Shard: 2, LagRecords: 7}})
+	bus.Publish(ops.Event{Kind: ops.KindJournal, Journal: ops.JournalEvent{Shard: 3, Seq: 2}})
+
+	resp, err := http.Get(ts.URL + "/events?kinds=lag&after=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	line, err := bufio.NewReader(resp.Body).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ev ops.Event
+	if err := json.Unmarshal([]byte(line), &ev); err != nil {
+		t.Fatalf("bad NDJSON line %q: %v", line, err)
+	}
+	if ev.Kind != ops.KindLag || ev.Lag.LagRecords != 7 {
+		t.Fatalf("got %+v, want the lag event", ev)
+	}
+}
+
+// TestEventsEndpointErrors: disabled plane and bad parameters.
+func TestEventsEndpointErrors(t *testing.T) {
+	m := newMechanism(t, 1) // no bus
+	ts := httptest.NewServer(m.srv.HTTPHandler())
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		path string
+		want int
+	}{
+		{"/events", http.StatusNotFound},
+	} {
+		resp, err := http.Get(ts.URL + tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Fatalf("GET %s = %d, want %d", tc.path, resp.StatusCode, tc.want)
+		}
+	}
+
+	bus := ops.NewBus()
+	defer bus.Close()
+	m2 := newMechanism(t, 1, WithEventBus(bus))
+	ts2 := httptest.NewServer(m2.srv.HTTPHandler())
+	defer ts2.Close()
+	for _, tc := range []struct {
+		path string
+		want int
+	}{
+		{"/events?kinds=bogus", http.StatusBadRequest},
+		{"/events?after=notanumber", http.StatusBadRequest},
+	} {
+		resp, err := http.Get(ts2.URL + tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Fatalf("GET %s = %d, want %d", tc.path, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+// TestMetricsSnapshotEndpoint: without WithMetrics the endpoint serves this
+// server's engine view.
+func TestMetricsSnapshotEndpoint(t *testing.T) {
+	m := newMechanism(t, 1)
+	m.user(t, "alice")
+	ts := httptest.NewServer(m.srv.HTTPHandler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap ops.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("bad snapshot %s: %v", body, err)
+	}
+	if len(snap.Servers) != 1 {
+		t.Fatalf("snapshot has %d servers, want 1: %s", len(snap.Servers), body)
+	}
+	if snap.AtEpochMs == 0 {
+		t.Fatal("snapshot missing at_epoch_ms")
+	}
+	// Agent-first field names on the wire.
+	for _, field := range []string{"at_epoch_ms", "journal_bytes", "live_bytes"} {
+		if !strings.Contains(string(body), fmt.Sprintf("%q", field)) {
+			t.Fatalf("snapshot JSON missing field %q: %s", field, body)
+		}
+	}
+}

@@ -20,6 +20,8 @@ import (
 //	POST /logout           {"user_id": "..."}                  logout
 //	POST /tasks            {"user_id": "...", "spec": {...}}   run a shopping task
 //	GET  /recommendations  ?user=&category=&n=                 browse recommendations
+//	GET  /events           ?kinds=&format=                     live event stream (SSE/NDJSON; events.go)
+//	GET  /metrics/snapshot                                     unified ops.Snapshot
 //
 // Each route converts the request into agent messages; the shopping task
 // route blocks until the Mobile Buyer Agent's round trip completes.
@@ -32,6 +34,8 @@ func (s *Server) HTTPHandler() http.Handler {
 	mux.HandleFunc("GET /recommendations", s.handleRecommendations)
 	mux.HandleFunc("GET /trending", s.handleTrending)
 	mux.HandleFunc("GET /tiedsales", s.handleTiedSales)
+	mux.HandleFunc("GET /events", s.handleEvents)
+	mux.HandleFunc("GET /metrics/snapshot", s.handleMetricsSnapshot)
 	return mux
 }
 

@@ -1,0 +1,111 @@
+package platform
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"agentrec/internal/ops"
+)
+
+// This file is the platform's event plane: one ops.Bus per process that
+// every engine and replicator publishes into, a periodic whole-platform
+// snapshot heartbeat, and the embedder API (Metrics, Subscribe) mirroring
+// what the wire endpoints serve.
+
+// ErrEventsDisabled reports a Subscribe on a platform built without
+// Config.Events.
+var ErrEventsDisabled = errors.New("platform: event plane disabled (set Config.Events)")
+
+// DefaultEventsInterval is the snapshot heartbeat period unless
+// Config.EventsInterval overrides it.
+const DefaultEventsInterval = 5 * time.Second
+
+// Metrics returns the unified whole-platform snapshot: every buyer server's
+// engine sizing plus, when replicated, its replication status. This is the
+// redesigned stats API — one self-describing ops.Snapshot instead of the
+// three structs it subsumes — and exactly what /metrics/snapshot serves and
+// the KindSnapshot heartbeat publishes. It works with or without
+// Config.Events.
+func (p *Platform) Metrics() ops.Snapshot {
+	snap := ops.Snapshot{AtEpochMs: time.Now().UnixMilli()}
+	for i, e := range p.Engines {
+		sv := ops.ServerSnapshot{Server: i, Engine: e.Stats().EventView()}
+		if i < len(p.Replicators) {
+			repl := p.Replicators[i].Stats().EventView()
+			sv.Replication = &repl
+		}
+		snap.Servers = append(snap.Servers, sv)
+	}
+	return snap
+}
+
+// Subscribe attaches a consumer to the platform's event bus, filtered to
+// kinds (none = all). The subscription is closed when ctx is cancelled;
+// read it with Next until ops.ErrSubscriptionClosed. ErrEventsDisabled
+// without Config.Events.
+func (p *Platform) Subscribe(ctx context.Context, kinds ...ops.Kind) (*ops.Subscription, error) {
+	if p.Events == nil {
+		return nil, ErrEventsDisabled
+	}
+	sub := p.Events.Subscribe(ops.SubscribeOptions{Kinds: kinds})
+	stop := context.AfterFunc(ctx, sub.Close)
+	_ = stop // the subscription outliving ctx is the only lifecycle; Close is idempotent
+	return sub, nil
+}
+
+// RunHeartbeat publishes a KindSnapshot heartbeat every interval until ctx
+// is cancelled (returning ctx.Err()) or the platform closes (returning
+// nil). New starts one automatically under Close's lifecycle; daemons that
+// want the heartbeat tied to their own shutdown context (platformd's task
+// group) build the platform pieces themselves and call this.
+func (p *Platform) RunHeartbeat(ctx context.Context, interval time.Duration) error {
+	if p.Events == nil {
+		return ErrEventsDisabled
+	}
+	if interval <= 0 {
+		interval = DefaultEventsInterval
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-p.stopHeartbeat:
+			return nil
+		case <-t.C:
+		}
+		snap := p.Metrics()
+		p.Events.Publish(ops.Event{Kind: ops.KindSnapshot, AtEpochMs: snap.AtEpochMs, Snapshot: &snap})
+	}
+}
+
+// startHeartbeat launches the heartbeat goroutine New owns. Called at the
+// end of New — after every engine and replicator is in place, so a tick
+// never races construction.
+func (p *Platform) startHeartbeat(interval time.Duration) {
+	p.stopHeartbeat = make(chan struct{})
+	p.heartbeatDone = make(chan struct{})
+	go func() {
+		defer close(p.heartbeatDone)
+		p.RunHeartbeat(context.Background(), interval)
+	}()
+}
+
+// closeEventPlane stops the heartbeat and closes the bus so wire consumers
+// drain and disconnect. Idempotent; a no-op without Config.Events.
+func (p *Platform) closeEventPlane() {
+	if p.Events == nil {
+		return
+	}
+	if p.stopHeartbeat != nil {
+		select {
+		case <-p.stopHeartbeat:
+		default:
+			close(p.stopHeartbeat)
+		}
+		<-p.heartbeatDone
+	}
+	p.Events.Close()
+}

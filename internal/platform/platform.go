@@ -31,6 +31,7 @@ import (
 	"agentrec/internal/catalog"
 	"agentrec/internal/coordinator"
 	"agentrec/internal/marketplace"
+	"agentrec/internal/ops"
 	"agentrec/internal/profile"
 	"agentrec/internal/recommend"
 	"agentrec/internal/trace"
@@ -53,6 +54,17 @@ type Config struct {
 	// rewrites whole shards on snapshot catch-up, so its WAL outgrows an
 	// owner's. [0]
 	CompactRatio float64
+
+	// Events enables the streaming event plane: one ops.Bus per platform
+	// that every engine and replicator publishes into (journal appends,
+	// recommendation deltas, compaction passes, lag transitions, periodic
+	// snapshot heartbeats), served live on every buyer server's HTTP
+	// surface (GET /events, GET /metrics/snapshot) and to embedders via
+	// Platform.Subscribe / Platform.Metrics. [false]
+	Events bool
+	// EventsInterval is the snapshot heartbeat period
+	// [DefaultEventsInterval]. Only meaningful with Events.
+	EventsInterval time.Duration
 
 	// ReplicateEngines gives every Buyer Agent Server its own engine
 	// instead of one shared in-process engine: each shard is owned by
@@ -98,8 +110,14 @@ type Platform struct {
 	Engines     []*recommend.Engine
 	Replicators []*recommend.Replicator // one per server when replicating
 
-	writer recommend.Writer // seeding write surface (router 0 when replicating)
-	hosts  []*aglet.Host
+	// Events is the platform's event bus (nil without Config.Events); see
+	// events.go for the embedder API (Metrics, Subscribe, RunHeartbeat).
+	Events *ops.Bus
+
+	writer        recommend.Writer // seeding write surface (router 0 when replicating)
+	hosts         []*aglet.Host
+	stopHeartbeat chan struct{}
+	heartbeatDone chan struct{}
 }
 
 // New boots a platform.
@@ -158,9 +176,16 @@ func New(cfg Config) (*Platform, error) {
 		}
 	}
 
+	if cfg.Events {
+		p.Events = ops.NewBus()
+	}
+
 	// Prepend defaults so explicit EngineOpts still win.
-	baseOpts := func(stateSub string) []recommend.Option {
+	baseOpts := func(server int, stateSub string) []recommend.Option {
 		var opts []recommend.Option
+		if p.Events != nil {
+			opts = append(opts, recommend.WithEventBus(p.Events, server))
+		}
 		if cfg.EngineShards > 0 {
 			opts = append(opts, recommend.WithShards(cfg.EngineShards))
 		}
@@ -188,7 +213,7 @@ func New(cfg Config) (*Platform, error) {
 		// One engine per buyer server: shard s is owned by server s%N,
 		// writes route to the owner, and each server tails the others.
 		for i := 0; i < cfg.BuyerServers; i++ {
-			opts := append(baseOpts(fmt.Sprintf("engine-%d", i)), recommend.WithJournalFeed(0))
+			opts := append(baseOpts(i, fmt.Sprintf("engine-%d", i)), recommend.WithJournalFeed(0))
 			engine, err := recommend.Open(p.Union, append(opts, cfg.EngineOpts...)...)
 			if err != nil {
 				return nil, err
@@ -204,7 +229,11 @@ func New(cfg Config) (*Platform, error) {
 			pull = 100 * time.Millisecond
 		}
 		for i, e := range p.Engines {
-			r, err := recommend.NewReplicator(e, i, peers, recommend.WithPullInterval(pull))
+			ropts := []recommend.ReplicatorOption{recommend.WithPullInterval(pull)}
+			if p.Events != nil {
+				ropts = append(ropts, recommend.WithReplicationEvents(p.Events, i))
+			}
+			r, err := recommend.NewReplicator(e, i, peers, ropts...)
 			if err != nil {
 				return nil, err
 			}
@@ -212,7 +241,7 @@ func New(cfg Config) (*Platform, error) {
 			p.Replicators = append(p.Replicators, r)
 		}
 	} else {
-		engine, err := recommend.Open(p.Union, append(baseOpts("engine"), cfg.EngineOpts...)...)
+		engine, err := recommend.Open(p.Union, append(baseOpts(0, "engine"), cfg.EngineOpts...)...)
 		if err != nil {
 			return nil, err
 		}
@@ -229,6 +258,10 @@ func New(cfg Config) (*Platform, error) {
 		opts := []buyerserver.Option{
 			buyerserver.WithTracer(cfg.Tracer),
 			buyerserver.WithMarkets(marketNames...),
+			buyerserver.WithMetrics(p.Metrics),
+		}
+		if p.Events != nil {
+			opts = append(opts, buyerserver.WithEventBus(p.Events))
 		}
 		engine := p.Engine
 		if cfg.ReplicateEngines {
@@ -256,6 +289,9 @@ func New(cfg Config) (*Platform, error) {
 		}
 		p.Buyers = append(p.Buyers, srv)
 	}
+	if p.Events != nil {
+		p.startHeartbeat(cfg.EventsInterval)
+	}
 	ok = true
 	return p, nil
 }
@@ -264,6 +300,11 @@ func New(cfg Config) (*Platform, error) {
 // status — applied vs owner sequence, lag, snapshot/page counts, last
 // errors — the signal an operator needs before trusting a server's local
 // reads. Empty without ReplicateEngines.
+//
+// Deprecated: use Metrics, whose ops.Snapshot carries the same data (per
+// server under Replication, with lags materialized as lag_records) plus
+// the engine sizing this walk omits. This delegate stays for embedders
+// that want the raw recommend structs.
 func (p *Platform) ReplicationStats() []recommend.ReplicationStats {
 	out := make([]recommend.ReplicationStats, 0, len(p.Replicators))
 	for _, r := range p.Replicators {
@@ -370,10 +411,12 @@ func (p *Platform) SeedCommunity(profiles []*profile.Profile, purchases map[stri
 	return nil
 }
 
-// Close shuts everything down: replicators first (no new applies), then
-// buyer servers (they own live agents with in-flight trips), marketplaces,
-// the coordinator, and the engines' persistence journals.
+// Close shuts everything down: the event plane first (heartbeat stopped,
+// bus closed so wire consumers drain and disconnect), then replicators (no
+// new applies), buyer servers (they own live agents with in-flight trips),
+// marketplaces, the coordinator, and the engines' persistence journals.
 func (p *Platform) Close() error {
+	p.closeEventPlane()
 	var first error
 	for _, r := range p.Replicators {
 		if err := r.Close(); err != nil && first == nil {

@@ -166,12 +166,22 @@ func (e *Engine) CompactState() error {
 	if e.persist == nil {
 		return ErrNoPersistence
 	}
+	var before JournalStats
+	if e.events != nil {
+		before, _ = e.persist.SizeStats()
+	}
 	start := time.Now()
 	if err := e.persist.Compact(); err != nil {
 		return err
 	}
+	elapsed := time.Since(start)
 	e.compactions.Add(1)
-	e.compactNanos.Store(time.Since(start).Nanoseconds())
+	e.compactNanos.Store(elapsed.Nanoseconds())
+	if e.events != nil {
+		if after, err := e.persist.SizeStats(); err == nil {
+			e.publishCompaction(elapsed, before, after)
+		}
+	}
 	return nil
 }
 

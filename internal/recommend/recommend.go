@@ -70,6 +70,7 @@ import (
 	"time"
 
 	"agentrec/internal/catalog"
+	"agentrec/internal/ops"
 	"agentrec/internal/profile"
 	"agentrec/internal/similarity"
 )
@@ -255,6 +256,12 @@ type Engine struct {
 	// Replication (nil unless WithJournalFeed; see replicate.go).
 	feed    *journalFeed
 	feedCap int
+
+	// Event plane (nil unless WithEventBus; see events.go).
+	events      *ops.Bus
+	eventServer int
+	deltaMu     sync.Mutex          // guards lastTop
+	lastTop     map[string][]string // served top-N per (user, category, strategy), for delta detection
 }
 
 // NewEngine returns an engine over cat. Persistence options are rejected
@@ -405,16 +412,23 @@ func (e *Engine) installShardProfiles(sh *shard, profs []*profile.Profile) error
 		sh.profiles[p.UserID] = &stored{prof: p, sum: sum}
 		changes = append(changes, postingChange{prev: prev, sum: sum})
 	}
-	sh.gen.Add(1)
+	seq := sh.gen.Add(1)
 	e.index.updateBatch(changes)
 	if e.feed != nil {
 		// Bulk installs split into several bounded records, so no single
 		// journal record outgrows a network frame when peers tail the feed.
 		for _, chunk := range chunkEncoded(encoded, maxFeedRecordBytes) {
-			e.feed.emit(sh.id, JournalRecord{Op: OpProfiles, Profiles: chunk})
+			seq = e.feed.emit(sh.id, JournalRecord{Op: OpProfiles, Profiles: chunk})
 		}
 	}
 	sh.mu.Unlock()
+	if e.events != nil {
+		var payload int
+		for _, enc := range encoded {
+			payload += len(enc)
+		}
+		e.publishJournal(sh.id, seq, OpProfiles, len(profs), payload)
+	}
 	e.maybeEvict(sh)
 	e.noteJournalWrite()
 	return nil
@@ -469,12 +483,13 @@ func (e *Engine) RecordPurchase(userID, productID string) error {
 	}
 	set[productID] = true
 	sh.sells[productID] = total
-	sh.gen.Add(1)
+	seq := sh.gen.Add(1)
 	if e.feed != nil {
-		e.feed.emit(sh.id, JournalRecord{Op: OpPurchase, UserID: userID, ProductID: productID})
+		seq = e.feed.emit(sh.id, JournalRecord{Op: OpPurchase, UserID: userID, ProductID: productID})
 	}
 	sh.mu.Unlock()
 	e.sellFor(productID).bump(productID)
+	e.publishJournal(sh.id, seq, OpPurchase, 1, 0)
 	e.maybeEvict(sh)
 	e.noteJournalWrite()
 	return nil
@@ -506,20 +521,23 @@ func (e *Engine) Users() []string {
 	return out
 }
 
-// Stats reports engine sizing, for observability and tests.
+// Stats reports engine sizing, for observability and tests. JSON tags
+// follow the agent-first convention (units in the field name) so the
+// struct is self-describing on the wire; EventView converts it to the
+// unified ops.EngineSnapshot the event plane publishes.
 type Stats struct {
-	Shards            int
-	ResidentShards    int // < Shards when cold shards are spilled
-	Users             int
-	IndexedCategories int
-	Postings          int
-	IndexWrites       uint64 // posting mutations since construction (catch-up cost gauge)
+	Shards            int    `json:"shards"`
+	ResidentShards    int    `json:"resident_shards"` // < Shards when cold shards are spilled
+	Users             int    `json:"users"`
+	IndexedCategories int    `json:"indexed_categories"`
+	Postings          int    `json:"postings"`
+	IndexWrites       uint64 `json:"index_writes"` // posting mutations since construction (catch-up cost gauge)
 
 	// Journal sizing and compaction (all zero without persistence).
-	JournalBytes   int64         // persistence journal size on disk
-	LiveBytes      int64         // what the journal would compact down to
-	Compactions    uint64        // CompactState successes (manual + automatic)
-	LastCompaction time.Duration // duration of the most recent compaction
+	JournalBytes   int64         `json:"journal_bytes"`      // persistence journal size on disk
+	LiveBytes      int64         `json:"live_bytes"`         // what the journal would compact down to
+	Compactions    uint64        `json:"compactions"`        // CompactState successes (manual + automatic)
+	LastCompaction time.Duration `json:"last_compaction_ns"` // duration of the most recent compaction
 }
 
 // Stats returns the engine's current sizing. Spilled shards are counted
@@ -553,8 +571,21 @@ func (e *Engine) Stats() Stats {
 // (CF then skips the discard gate's category test by using the consumer's
 // top category). StrategyAuto uses Hybrid and falls back to top sellers for
 // cold-start consumers.
+//
+// With WithEventBus, a served top-N that differs from the previous answer
+// for the same (user, category, strategy) additionally publishes a
+// KindRecDelta event (see events.go); RecommendWith stays delta-free for
+// callers issuing exploratory reads against their own snapshots.
 func (e *Engine) Recommend(strategy Strategy, userID, category string, n int) ([]Rec, error) {
-	return e.RecommendWith(e.Snapshot(), strategy, userID, category, n)
+	if e.events == nil {
+		return e.RecommendWith(e.Snapshot(), strategy, userID, category, n)
+	}
+	start := time.Now()
+	recs, err := e.RecommendWith(e.Snapshot(), strategy, userID, category, n)
+	if err == nil {
+		e.publishRecDelta(strategy, userID, category, recs, time.Since(start))
+	}
+	return recs, err
 }
 
 // RecommendWith is Recommend against an existing Snapshot, letting callers

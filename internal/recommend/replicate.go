@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"agentrec/internal/ops"
 	"agentrec/internal/profile"
 )
 
@@ -150,9 +151,9 @@ func newJournalFeed(nshards, cap int) (*journalFeed, error) {
 	return f, nil
 }
 
-// emit appends rec to shard's tail, assigning the next sequence number.
-// The caller holds the shard's write lock.
-func (f *journalFeed) emit(shard int, rec JournalRecord) {
+// emit appends rec to shard's tail, assigning and returning the next
+// sequence number. The caller holds the shard's write lock.
+func (f *journalFeed) emit(shard int, rec JournalRecord) uint64 {
 	f.mu.Lock()
 	fs := &f.shards[shard]
 	rec.Shard = shard
@@ -162,7 +163,9 @@ func (f *journalFeed) emit(shard int, rec JournalRecord) {
 		fs.records = append(fs.records[:0:0], fs.records[over:]...)
 		fs.first += uint64(over)
 	}
+	seq := rec.Seq
 	f.mu.Unlock()
+	return seq
 }
 
 // next returns the sequence number the shard's next record will get.
@@ -575,16 +578,19 @@ func WithPullInterval(d time.Duration) ReplicatorOption {
 type replCursor struct{ epoch, seq uint64 }
 
 // ShardReplication is one shard's replication status on this follower.
+// JSON tags follow the agent-first convention; EventView materializes the
+// derived Lag as the wire's `lag_records`.
 type ShardReplication struct {
-	Shard, Owner int
-	Epoch        uint64 // owner feed epoch the cursor belongs to (0 = never synced)
-	AppliedSeq   uint64 // last journal record applied locally
-	OwnerSeq     uint64 // owner's feed head as of the last successful pull
-	Records      uint64 // journal records applied since construction
-	Snapshots    uint64 // snapshot catch-ups since construction
-	Pages        uint64 // snapshot pages transferred (paged catch-ups only)
-	Restarts     uint64 // paged transfers restarted because the owner's cut moved
-	LastError    string // most recent pull/apply error ("" when healthy)
+	Shard      int    `json:"shard"`
+	Owner      int    `json:"owner"`
+	Epoch      uint64 `json:"epoch"`                // owner feed epoch the cursor belongs to (0 = never synced)
+	AppliedSeq uint64 `json:"applied_seq"`          // last journal record applied locally
+	OwnerSeq   uint64 `json:"owner_seq"`            // owner's feed head as of the last successful pull
+	Records    uint64 `json:"records"`              // journal records applied since construction
+	Snapshots  uint64 `json:"snapshots"`            // snapshot catch-ups since construction
+	Pages      uint64 `json:"pages"`                // snapshot pages transferred (paged catch-ups only)
+	Restarts   uint64 `json:"restarts"`             // paged transfers restarted because the owner's cut moved
+	LastError  string `json:"last_error,omitempty"` // most recent pull/apply error ("" when healthy)
 }
 
 // Lag is how many journal records this shard's replica was behind the
@@ -598,9 +604,9 @@ func (s ShardReplication) Lag() uint64 {
 
 // ReplicationStats is a Replicator's view of every shard it follows.
 type ReplicationStats struct {
-	Self    int
-	Servers int
-	Shards  []ShardReplication // one entry per non-owned shard
+	Self    int                `json:"self"`
+	Servers int                `json:"servers"`
+	Shards  []ShardReplication `json:"shards,omitempty"` // one entry per non-owned shard
 }
 
 // Lag sums the per-shard lags: total journal records this server's replicas
@@ -623,11 +629,16 @@ type Replicator struct {
 	peers    []Peer
 	interval time.Duration
 
-	syncMu sync.Mutex // serializes passes (ticker vs explicit Sync)
-	mu     sync.Mutex // guards cursors, stats, and saved transfers
-	curs   []replCursor
-	stats  map[int]*ShardReplication
-	xfers  map[int]*pagedTransfer // in-flight paged transfers, resumable across pulls
+	// Event plane (nil unless WithReplicationEvents; see events.go).
+	events      *ops.Bus
+	eventServer int
+
+	syncMu  sync.Mutex // serializes passes (ticker vs explicit Sync)
+	mu      sync.Mutex // guards cursors, stats, saved transfers, and lastLag
+	curs    []replCursor
+	stats   map[int]*ShardReplication
+	xfers   map[int]*pagedTransfer // in-flight paged transfers, resumable across pulls
+	lastLag map[int]uint64         // per-shard lag at the previous successful pull
 
 	startOnce sync.Once
 	stop      chan struct{}
@@ -649,6 +660,7 @@ func NewReplicator(e *Engine, self int, peers []Peer, opts ...ReplicatorOption) 
 		curs:     make([]replCursor, e.nshards),
 		stats:    make(map[int]*ShardReplication),
 		xfers:    make(map[int]*pagedTransfer),
+		lastLag:  make(map[int]uint64),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
@@ -689,14 +701,35 @@ func (r *Replicator) Sync(ctx context.Context) error {
 // pullShard tails shard from owner once and applies what came back.
 func (r *Replicator) pullShard(ctx context.Context, shard, owner int) (err error) {
 	defer func() {
+		var lagEv ops.Event
+		publish := false
 		r.mu.Lock()
 		st := r.stats[shard]
 		if err != nil {
 			st.LastError = err.Error()
 		} else {
 			st.LastError = ""
+			if r.events != nil {
+				// Lag transition: this pull observed a different backlog
+				// than the previous one. Falling behind and catching up are
+				// both edges; steady lag is silent.
+				if lag, prev := st.Lag(), r.lastLag[shard]; lag != prev {
+					r.lastLag[shard] = lag
+					lagEv = ops.Event{Kind: ops.KindLag, Lag: ops.LagEvent{
+						Server:         r.eventServer,
+						Shard:          shard,
+						Owner:          st.Owner,
+						LagRecords:     lag,
+						PrevLagRecords: prev,
+					}}
+					publish = true
+				}
+			}
 		}
 		r.mu.Unlock()
+		if publish {
+			r.events.Publish(lagEv)
+		}
 	}()
 
 	r.mu.Lock()
@@ -881,6 +914,28 @@ func (r *Replicator) Start() {
 			}
 		}()
 	})
+}
+
+// Run drives the pull loop under the caller's lifecycle: it ticks like
+// Start's background loop but in the calling goroutine, returning ctx.Err()
+// when ctx is cancelled or nil when Close is called. Run and Start are
+// alternatives — a daemon that owns a shutdown context (platformd's task
+// group) uses Run; embedders that just want fire-and-forget use Start.
+func (r *Replicator) Run(ctx context.Context) error {
+	t := time.NewTicker(r.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-r.stop:
+			return nil
+		case <-t.C:
+		}
+		sctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		r.Sync(sctx) // per-shard errors are kept in Stats
+		cancel()
+	}
 }
 
 // Close stops the background loop (if started) and waits for it.

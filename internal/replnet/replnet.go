@@ -49,6 +49,16 @@ const (
 // shrink it.
 var maxTailBytes = (atp.MaxFrame - (1 << 20)) / 4 * 3
 
+// SetMaxTailBytes overrides the tail reply budget, returning a restore
+// func. Integration tests outside the package (cmd/platformd) shrink it so
+// modest write bursts exercise trimmed-tail replication — and the lag
+// accounting layered on it — without multi-megabyte fixtures.
+func SetMaxTailBytes(n int) (restore func()) {
+	old := maxTailBytes
+	maxTailBytes = n
+	return func() { maxTailBytes = old }
+}
+
 // pageBudget is the per-entry byte budget handed to Engine.SnapshotPage:
 // the tail budget minus slack for the page's JSON envelope, so a page at
 // the budget still fits the frame after the base64 expansion maxTailBytes
