@@ -1,5 +1,6 @@
-// recbench regenerates the experiment tables recorded in EXPERIMENTS.md
-// and the neighbour-search perf snapshot in BENCH_recommend.json.
+// recbench regenerates the experiment tables recorded in EXPERIMENTS.md,
+// the neighbour-search perf snapshot in BENCH_recommend.json, and the
+// scenario trajectory files BENCH_<scenario>.json.
 //
 // Usage:
 //
@@ -7,6 +8,16 @@
 //	recbench -run=C5 -quick                # one experiment, small fixtures
 //	recbench -neighbors -out BENCH_recommend.json
 //	recbench -neighbors -quick             # small sizes, no 1M build
+//	recbench -scenario list                # list the shipped scenarios
+//	recbench -scenario flash-sale          # full-size open-loop run, 2 servers
+//	recbench -scenario churn-spill -quick  # CI-sized smoke reduction
+//	recbench -scenario my.json -rate 500 -duration 10s -servers 3
+//	recbench -scenario flash-sale -servers localhost:8080,localhost:8081
+//
+// A scenario run replays the scenario's op mix open-loop (arrivals fixed by
+// the rate shape, never by completions) against a replicated in-process
+// platform (-servers N) or live platformd daemons (-servers addr,addr) and
+// writes the BENCH_<scenario>.json latency/throughput document.
 //
 // Experiments: F4.4 (learning rate), F4.5 (discard gate), C2 (mobile agent
 // vs RPC network cost), C4 (sparsity and cold start), C5 (technique
@@ -14,40 +25,189 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"agentrec/internal/experiments"
+	"agentrec/internal/loadgen"
 )
 
 func main() {
 	run := flag.String("run", "all", "experiment id or 'all' ("+strings.Join(experiments.Names(), ", ")+")")
-	quick := flag.Bool("quick", false, "small fixtures (fast, noisier numbers)")
+	quick := flag.Bool("quick", false, "small fixtures (fast, noisier numbers); with -scenario, the CI smoke reduction")
 	neighbors := flag.Bool("neighbors", false, "run the exact-vs-LSH neighbour search benchmark instead of the paper experiments")
 	sizes := flag.String("sizes", "", "comma-separated community sizes for -neighbors (default 10000,100000,1000000)")
-	out := flag.String("out", "BENCH_recommend.json", "output file for the -neighbors JSON snapshot")
+	out := flag.String("out", "", "output file (default BENCH_recommend.json / BENCH_<scenario>.json)")
 	queries := flag.Int("queries", 24, "query users per size for -neighbors")
+	scenario := flag.String("scenario", "", "open-loop load scenario: a built-in name, a JSON file, or 'list' ("+strings.Join(loadgen.Scenarios(), ", ")+")")
+	rate := flag.Float64("rate", 0, "override the scenario's arrival rate, ops/sec (must be > 0 when set)")
+	duration := flag.Duration("duration", 0, "override the scenario's load window (must be > 0 when set)")
+	servers := flag.String("servers", "2", "in-process buyer server count, or comma-separated HTTP addresses of live platformd daemons")
+	users := flag.Int("users", 0, "override the scenario's consumer count (must be > 0 when set)")
+	workers := flag.Int("workers", 0, "driver worker count (default 16)")
+	stateDir := flag.String("state-dir", "", "durable state root for spilling scenarios (default: temp dir)")
 	flag.Parse()
 
-	if *neighbors {
-		if err := runNeighbors(*sizes, *out, *queries, *quick); err != nil {
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	// Out-of-range flags are usage errors, never silent clamps: a clamped
+	// -rate=0 would commit a trajectory measured at a rate nobody asked for.
+	if set["rate"] && *rate <= 0 {
+		usageErr("-rate must be positive, got %g", *rate)
+	}
+	if set["duration"] && *duration <= 0 {
+		usageErr("-duration must be positive, got %v", *duration)
+	}
+	if set["users"] && *users <= 0 {
+		usageErr("-users must be positive, got %d", *users)
+	}
+	if *workers < 0 {
+		usageErr("-workers must be non-negative, got %d", *workers)
+	}
+	if *queries <= 0 {
+		usageErr("-queries must be positive, got %d", *queries)
+	}
+
+	switch {
+	case *scenario != "":
+		if err := runScenario(scenarioOptions{
+			name: *scenario, rate: *rate, duration: *duration, servers: *servers,
+			users: *users, workers: *workers, stateDir: *stateDir, out: *out, quick: *quick,
+		}); err != nil {
 			fmt.Fprintln(os.Stderr, "recbench:", err)
 			os.Exit(1)
 		}
-		return
+	case *neighbors:
+		dest := *out
+		if dest == "" {
+			dest = "BENCH_recommend.json"
+		}
+		if err := runNeighbors(*sizes, dest, *queries, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, "recbench:", err)
+			os.Exit(1)
+		}
+	default:
+		size := experiments.Full
+		if *quick {
+			size = experiments.Quick
+		}
+		if err := experiments.Run(os.Stdout, *run, size); err != nil {
+			fmt.Fprintln(os.Stderr, "recbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// usageErr reports a flag mistake and exits with the usage status.
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "recbench: %s\n", fmt.Sprintf(format, args...))
+	flag.Usage()
+	os.Exit(2)
+}
+
+type scenarioOptions struct {
+	name     string
+	rate     float64
+	duration time.Duration
+	servers  string
+	users    int
+	workers  int
+	stateDir string
+	out      string
+	quick    bool
+}
+
+// parseServers splits -servers into either an in-process server count or a
+// list of live daemon addresses, mirroring platformd's -buyer-peers
+// validation: an empty entry is a usage error, not a skipped server.
+func parseServers(spec string) (count int, addrs []string, err error) {
+	if spec == "" {
+		return 0, nil, fmt.Errorf("-servers must not be empty")
+	}
+	if n, convErr := strconv.Atoi(spec); convErr == nil {
+		if n < 1 {
+			return 0, nil, fmt.Errorf("-servers count must be >= 1, got %d", n)
+		}
+		return n, nil, nil
+	}
+	for _, addr := range strings.Split(spec, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			// An empty entry would silently shrink the target set.
+			return 0, nil, fmt.Errorf("-servers %q contains an empty address", spec)
+		}
+		addrs = append(addrs, addr)
+	}
+	return 0, addrs, nil
+}
+
+func runScenario(opt scenarioOptions) error {
+	if opt.name == "list" {
+		for _, name := range loadgen.Scenarios() {
+			s, _ := loadgen.Lookup(name)
+			fmt.Printf("%-14s %s\n", name, s.Description)
+		}
+		return nil
+	}
+	s, ok := loadgen.Lookup(opt.name)
+	if !ok {
+		if !strings.ContainsAny(opt.name, "./") {
+			return fmt.Errorf("unknown scenario %q (try -scenario list, or pass a JSON file)", opt.name)
+		}
+		var err error
+		if s, err = loadgen.LoadScenario(opt.name); err != nil {
+			return err
+		}
+	}
+	if opt.quick {
+		s = s.Smoke()
+	}
+	if opt.rate > 0 {
+		s.RateOpsS = opt.rate
+	}
+	if opt.duration > 0 {
+		s.DurationS = opt.duration.Seconds()
+	}
+	if opt.users > 0 {
+		s.Users = opt.users
+	}
+	count, addrs, err := parseServers(opt.servers)
+	if err != nil {
+		usageErr("%v", err)
 	}
 
-	size := experiments.Full
-	if *quick {
-		size = experiments.Quick
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := loadgen.RunScenario(ctx, s, loadgen.RunOptions{
+		Servers:   count,
+		HTTPAddrs: addrs,
+		StateDir:  opt.stateDir,
+		Workers:   opt.workers,
+		Out:       os.Stdout,
+	})
+	if err != nil {
+		return err
 	}
-	if err := experiments.Run(os.Stdout, *run, size); err != nil {
-		fmt.Fprintln(os.Stderr, "recbench:", err)
-		os.Exit(1)
+	if err := res.Check(); err != nil {
+		return err
 	}
+	dest := opt.out
+	if dest == "" {
+		dest = "BENCH_" + res.Scenario + ".json"
+	}
+	if err := loadgen.WriteResult(dest, res); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", dest)
+	return nil
 }
 
 func runNeighbors(sizesCSV, out string, queries int, quick bool) error {

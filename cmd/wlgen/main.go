@@ -38,6 +38,28 @@ func main() {
 	flag.Parse()
 	cfg.Seed = seed
 
+	// Out-of-range flags are usage errors: Generate's defaults would
+	// silently replace them and emit a universe nobody asked for.
+	usageErr := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "wlgen: %s\n", fmt.Sprintf(format, args...))
+		flag.Usage()
+		os.Exit(2)
+	}
+	switch {
+	case cfg.Users <= 0:
+		usageErr("-users must be positive, got %d", cfg.Users)
+	case cfg.Products <= 0:
+		usageErr("-products must be positive, got %d", cfg.Products)
+	case cfg.Categories <= 0:
+		usageErr("-categories must be positive, got %d", cfg.Categories)
+	case cfg.RelevantPerUser <= 0:
+		usageErr("-relevant must be positive, got %d", cfg.RelevantPerUser)
+	case cfg.RelevantPerUser > cfg.Products:
+		usageErr("-relevant %d exceeds -products %d", cfg.RelevantPerUser, cfg.Products)
+	case cfg.ColdStartUsers < 0:
+		usageErr("-cold must be non-negative, got %d", cfg.ColdStartUsers)
+	}
+
 	u, err := workload.Generate(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wlgen:", err)

@@ -14,6 +14,7 @@ import (
 	"strings"
 	"testing"
 
+	"agentrec/internal/loadgen"
 	"agentrec/internal/ops"
 	"agentrec/internal/recommend"
 )
@@ -141,6 +142,116 @@ func TestDocsStatsFieldNamesInDesign(t *testing.T) {
 	}
 }
 
+// TestDocsLoadgenSchemaInDesign checks that every wire field of the
+// scenario document and the BENCH result document is named (in backticks)
+// in DESIGN.md's "Load harness" section, so the committed trajectory
+// schema cannot drift from the docs.
+func TestDocsLoadgenSchemaInDesign(t *testing.T) {
+	design := readDoc(t, "DESIGN.md")
+	tags := make(map[string]bool)
+	for _, v := range []any{loadgen.Scenario{}, loadgen.ScenarioResult{}} {
+		jsonLeafTags(t, reflect.TypeOf(v), tags)
+	}
+	if len(tags) < 40 {
+		t.Fatalf("walker found only %d tags, expected the full scenario/result vocabulary", len(tags))
+	}
+	for tag := range tags {
+		if !strings.Contains(design, "`"+tag+"`") {
+			t.Errorf("DESIGN.md does not document wire field `%s`", tag)
+		}
+	}
+}
+
+// TestReadmeRecbenchFlagsDocumented cross-checks that every flag
+// cmd/recbench defines is mentioned in the README (the scenario harness
+// is driven entirely through recbench, so an undocumented flag is an
+// invisible one).
+func TestReadmeRecbenchFlagsDocumented(t *testing.T) {
+	readme := readDoc(t, "README.md")
+	src := readDoc(t, filepath.Join("cmd", "recbench", "main.go"))
+	defRe := regexp.MustCompile(`flag\.(?:Int|String|Bool|Duration|Float64)\("([^"]+)"`)
+	defined := make(map[string]bool)
+	for _, m := range defRe.FindAllStringSubmatch(src, -1) {
+		defined[m[1]] = true
+	}
+	for _, want := range []string{"scenario", "rate", "duration", "servers", "users", "workers", "state-dir", "quick", "out"} {
+		if !defined[want] {
+			t.Errorf("cmd/recbench does not define the promised -%s flag", want)
+		}
+	}
+	for name := range defined {
+		if !strings.Contains(readme, "`-"+name+"`") {
+			t.Errorf("README.md does not document recbench flag -%s", name)
+		}
+	}
+}
+
+// TestBenchScenarioDocsValid is the BENCH_<scenario>.json schema gate.
+// By default it validates the committed trajectory files in the repo root
+// and requires the scenarios the roadmap promises; CI's scenario smoke
+// job points BENCH_SCENARIO_GLOB at freshly emitted documents instead,
+// failing the build on any schema break or error-count regression.
+func TestBenchScenarioDocsValid(t *testing.T) {
+	glob := os.Getenv("BENCH_SCENARIO_GLOB")
+	committed := glob == ""
+	if committed {
+		glob = "BENCH_*.json"
+	}
+	paths, err := filepath.Glob(glob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := make(map[string]*loadgen.ScenarioResult)
+	for _, path := range paths {
+		if filepath.Base(path) == "BENCH_recommend.json" {
+			continue // the microbenchmark snapshot has its own schema
+		}
+		res, err := loadgen.ReadResult(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if err := res.Check(); err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		found[res.Scenario] = res
+	}
+	if len(found) == 0 {
+		t.Fatalf("no scenario documents matched %q", glob)
+	}
+	if !committed {
+		return
+	}
+	// The committed trajectory must cover the promised scenarios, from
+	// replicated multi-server runs, with their special sections present.
+	for _, want := range []string{"flash-sale", "churn-spill", "cold-follower", "shilling"} {
+		res := found[want]
+		if res == nil {
+			t.Errorf("committed trajectory is missing BENCH_%s.json", want)
+			continue
+		}
+		if res.Servers < 2 {
+			t.Errorf("%s: committed run used %d server(s), want a replicated >=2-server run", want, res.Servers)
+		}
+	}
+	if res := found["cold-follower"]; res != nil {
+		if res.ColdFollower == nil || res.ColdFollower.PagesPulled == 0 {
+			t.Error("cold-follower trajectory has no paged bootstrap measurement")
+		}
+	}
+	if res := found["shilling"]; res != nil {
+		if res.Shilling == nil || res.Shilling.Probes == 0 {
+			t.Error("shilling trajectory has no rank-displacement measurement")
+		}
+	}
+	if res := found["churn-spill"]; res != nil {
+		if res.Metrics == nil || res.Metrics.ResidentShardsMin >= res.Metrics.ShardsPerEngine {
+			t.Error("churn-spill trajectory shows no shard spilling")
+		}
+	}
+}
+
 // TestReadmePromisedSectionsExist pins the structural promises: the
 // README's quickstart points at a real example, and DESIGN.md carries the
 // Replication and Durability sections the README links into.
@@ -151,8 +262,11 @@ func TestReadmePromisedSectionsExist(t *testing.T) {
 			t.Errorf("README.md does not mention %q", want)
 		}
 	}
+	if !strings.Contains(readme, "## Load & scenarios") {
+		t.Error("README.md does not contain the Load & scenarios section")
+	}
 	design := readDoc(t, "DESIGN.md")
-	for _, want := range []string{"## Replication", "## Durability", "## Neighbor search", "prof/<shard>", "purch/<shard>", "sell/<shard>", "BENCH_recommend.json"} {
+	for _, want := range []string{"## Replication", "## Durability", "## Neighbor search", "## Load harness", "prof/<shard>", "purch/<shard>", "sell/<shard>", "BENCH_recommend.json", "coordinated omission"} {
 		if !strings.Contains(design, want) {
 			t.Errorf("DESIGN.md does not contain %q", want)
 		}

@@ -1,0 +1,206 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"agentrec/internal/workload"
+)
+
+// synthNext is a deterministic schedule for driver tests: op i carries its
+// index in TopN so the target can make per-op decisions, and cycles kinds.
+func synthNext(i uint64) workload.Op {
+	return workload.Op{Kind: workload.OpKind(i % 3), TopN: int(i)}
+}
+
+// TestDriveSoak is the -race soak from the issue: many workers, injected
+// slow responses and injected errors, then exact accounting — no op may be
+// dropped or double-counted anywhere in the final histogram totals.
+func TestDriveSoak(t *testing.T) {
+	const (
+		rate     = 4000.0
+		duration = 1500 * time.Millisecond
+		slowMod  = 97 // every 97th op stalls
+		errMod   = 13 // every 13th op fails
+	)
+	var issued, failed atomic.Int64
+	target := TargetFunc(func(_ context.Context, op workload.Op) error {
+		issued.Add(1)
+		if op.TopN%slowMod == 0 {
+			time.Sleep(3 * time.Millisecond)
+		}
+		if op.TopN%errMod == 5 {
+			failed.Add(1)
+			return errors.New("injected failure")
+		}
+		return nil
+	})
+	dr, err := Drive(context.Background(), DriveConfig{
+		Rate: rate, Duration: duration, Workers: 64,
+	}, synthNext, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := int64(rate * duration.Seconds())
+	if dr.Scheduled != want {
+		t.Fatalf("Scheduled = %d, want %d", dr.Scheduled, want)
+	}
+	if dr.Attempted != dr.Scheduled {
+		t.Fatalf("Attempted = %d, want all %d scheduled (ctx never cancelled)", dr.Attempted, dr.Scheduled)
+	}
+	if got := issued.Load(); got != dr.Attempted {
+		t.Fatalf("target saw %d ops, driver counted %d", got, dr.Attempted)
+	}
+	if dr.Completed+dr.Errors != dr.Attempted {
+		t.Fatalf("accounting broken: %d completed + %d errors != %d attempted",
+			dr.Completed, dr.Errors, dr.Attempted)
+	}
+	if got := failed.Load(); got != dr.Errors {
+		t.Fatalf("target failed %d ops, driver counted %d errors", got, dr.Errors)
+	}
+	// Exact expected error count: indices i in [0, want) with i%13 == 5.
+	var wantErrs int64
+	for i := int64(0); i < want; i++ {
+		if i%errMod == 5 {
+			wantErrs++
+		}
+	}
+	if dr.Errors != wantErrs {
+		t.Fatalf("Errors = %d, want exactly %d", dr.Errors, wantErrs)
+	}
+	if dr.All.Count() != dr.Completed {
+		t.Fatalf("histogram holds %d samples, want %d completed", dr.All.Count(), dr.Completed)
+	}
+	var kindCompleted, kindErrors, kindHist int64
+	for _, kr := range dr.ByKind {
+		kindCompleted += kr.Completed
+		kindErrors += kr.Errors
+		kindHist += kr.Hist.Count()
+		if kr.Hist.Count() != kr.Completed {
+			t.Fatalf("kind histogram %d samples != %d completed", kr.Hist.Count(), kr.Completed)
+		}
+	}
+	if kindCompleted != dr.Completed || kindErrors != dr.Errors || kindHist != dr.All.Count() {
+		t.Fatalf("per-kind totals %d/%d/%d don't reconcile with %d/%d/%d",
+			kindCompleted, kindErrors, kindHist, dr.Completed, dr.Errors, dr.All.Count())
+	}
+	if len(dr.ErrorSample) == 0 || dr.ErrorSample[0] != "injected failure" {
+		t.Fatalf("ErrorSample = %v, want the injected failure surfaced", dr.ErrorSample)
+	}
+}
+
+// TestDriveCancel: a cancelled context stops issuing but never corrupts the
+// accounting — in-flight ops finish and are counted.
+func TestDriveCancel(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	target := TargetFunc(func(context.Context, workload.Op) error {
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	dr, err := Drive(ctx, DriveConfig{Rate: 500, Duration: 10 * time.Second, Workers: 4}, synthNext, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Attempted >= dr.Scheduled {
+		t.Fatalf("Attempted = %d, expected an early stop below %d", dr.Attempted, dr.Scheduled)
+	}
+	if dr.Completed+dr.Errors != dr.Attempted || dr.All.Count() != dr.Completed {
+		t.Fatalf("cancelled run broke accounting: %d+%d != %d (hist %d)",
+			dr.Completed, dr.Errors, dr.Attempted, dr.All.Count())
+	}
+}
+
+// TestDriveOpenLoopBacklog: the open-loop property itself. One worker, 5ms
+// service, arrivals every 1ms — a closed-loop driver would slow to 200/s
+// and report 5ms everywhere; the open-loop driver measures from scheduled
+// start, so the growing backlog must surface in the tail.
+func TestDriveOpenLoopBacklog(t *testing.T) {
+	target := TargetFunc(func(context.Context, workload.Op) error {
+		time.Sleep(5 * time.Millisecond)
+		return nil
+	})
+	dr, err := Drive(context.Background(), DriveConfig{
+		Rate: 1000, Duration: 100 * time.Millisecond, Workers: 1,
+	}, synthNext, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Completed != dr.Scheduled {
+		t.Fatalf("completed %d of %d", dr.Completed, dr.Scheduled)
+	}
+	p99 := time.Duration(dr.All.Quantile(0.99))
+	if p99 < 50*time.Millisecond {
+		t.Fatalf("p99 = %v; queueing backlog must inflate the tail well past the 5ms service time", p99)
+	}
+	if min := time.Duration(dr.All.Min()); min < 4*time.Millisecond {
+		t.Fatalf("min = %v, below the injected service time", min)
+	}
+}
+
+// TestDriveSineSchedule: the diurnal shape integrates to roughly the mean
+// rate and stays inside the run window, monotonically.
+func TestDriveSineSchedule(t *testing.T) {
+	cfg, err := DriveConfig{
+		Rate: 1000, Duration: 2 * time.Second, Shape: ShapeSine, SineMinFrac: 0.25,
+	}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	offsets := cfg.schedule()
+	mean := cfg.Rate * (1 + cfg.SineMinFrac) / 2
+	want := mean * cfg.Duration.Seconds()
+	if got := float64(len(offsets)); got < want*0.95 || got > want*1.05 {
+		t.Fatalf("sine schedule emitted %d arrivals, want ~%.0f", len(offsets), want)
+	}
+	for i, off := range offsets {
+		if off < 0 || off >= cfg.Duration {
+			t.Fatalf("arrival %d at %v outside the run window", i, off)
+		}
+		if i > 0 && off < offsets[i-1] {
+			t.Fatalf("arrival %d at %v before its predecessor %v", i, off, offsets[i-1])
+		}
+	}
+	// The second half-period (peak) must carry more arrivals than the first
+	// (trough-centred) quarter: the shape actually modulates.
+	quarter, half := 0, 0
+	for _, off := range offsets {
+		if off < cfg.Duration/4 {
+			quarter++
+		}
+		if off >= cfg.Duration/4 && off < 3*cfg.Duration/4 {
+			half++
+		}
+	}
+	if half <= 2*quarter {
+		t.Fatalf("sine shape flat: %d arrivals in the peak half vs %d in the trough quarter", half, quarter)
+	}
+}
+
+// TestDriveRejectsBadConfig mirrors the CLI validation: out-of-range knobs
+// are errors, not silent clamps.
+func TestDriveRejectsBadConfig(t *testing.T) {
+	ok := TargetFunc(func(context.Context, workload.Op) error { return nil })
+	cases := []DriveConfig{
+		{Rate: 0, Duration: time.Second},
+		{Rate: -10, Duration: time.Second},
+		{Rate: 100, Duration: 0},
+		{Rate: 100, Duration: -time.Second},
+		{Rate: 100, Duration: time.Second, Shape: "sawtooth"},
+	}
+	for _, cfg := range cases {
+		if _, err := Drive(context.Background(), cfg, synthNext, ok); err == nil {
+			t.Errorf("Drive(%+v) accepted an invalid config", cfg)
+		}
+	}
+	if _, err := Drive(context.Background(), DriveConfig{Rate: 1, Duration: time.Second}, nil, ok); err == nil {
+		t.Error("Drive accepted a nil schedule")
+	}
+	if _, err := Drive(context.Background(), DriveConfig{Rate: 1, Duration: time.Second}, synthNext, nil); err == nil {
+		t.Error("Drive accepted a nil target")
+	}
+}

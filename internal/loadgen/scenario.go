@@ -1,0 +1,269 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"agentrec/internal/workload"
+)
+
+// Scenario is one scripted load scenario: a plain data document (JSON
+// round-trippable, no code) naming the universe to generate, the arrival
+// process, and the traffic mix. cmd/recbench resolves built-ins from
+// Library by name or loads a custom scenario from a JSON file, so new
+// scenarios need no recompilation.
+type Scenario struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+
+	// Universe sizing (workload.Generate).
+	Seed       uint64 `json:"seed,omitempty"`       // [1]
+	Users      int    `json:"users,omitempty"`      // seeded consumers [10000]
+	Products   int    `json:"products,omitempty"`   // catalog size [Users/10, min 500]
+	Categories int    `json:"categories,omitempty"` // [16]
+
+	// Arrival process (open loop).
+	RateOpsS    float64 `json:"rate_ops_s"`              // peak arrival rate
+	DurationS   float64 `json:"duration_s"`              // scheduled load window
+	Shape       string  `json:"shape,omitempty"`         // "constant" (default) | "sine"
+	SinePeriodS float64 `json:"sine_period_s,omitempty"` // [DurationS]
+	SineMinFrac float64 `json:"sine_min_frac,omitempty"` // trough fraction [0.25]
+
+	// Traffic mix and skew (workload.TrafficConfig).
+	MixRecommend     float64 `json:"mix_recommend"`
+	MixSetProfile    float64 `json:"mix_set_profile"`
+	MixPurchase      float64 `json:"mix_purchase"`
+	UserZipfS        float64 `json:"user_zipf_s,omitempty"`
+	HotCategoryShare float64 `json:"hot_category_share,omitempty"`
+	ChurnFraction    float64 `json:"churn_fraction,omitempty"`
+
+	// MaxResidentShards > 0 bounds how many community shards each engine
+	// keeps in memory (recommend.WithMaxResidentShards); the runner then
+	// backs the engines with a durable state dir so cold shards spill.
+	MaxResidentShards int `json:"max_resident_shards,omitempty"`
+
+	// ColdFollower adds one extra cold server to the replicated world: it
+	// owns nothing, starts with empty replicas after ColdFollowerDelayS of
+	// load, and bootstraps every shard through the paged snapshot protocol
+	// (page budget ColdFollowerPageBytes) while writes continue.
+	ColdFollower          bool    `json:"cold_follower,omitempty"`
+	ColdFollowerDelayS    float64 `json:"cold_follower_delay_s,omitempty"`    // [10% of DurationS]
+	ColdFollowerPageBytes int     `json:"cold_follower_page_bytes,omitempty"` // [256 KiB]
+
+	// ShillFraction > 0 turns the scenario adversarial: that fraction of
+	// set_profile ops installs shill profiles promoting one hot product,
+	// and the runner measures the attack's rank-displacement impact on the
+	// CF neighbourhoods (see shilling.go).
+	ShillFraction float64 `json:"shill_fraction,omitempty"`
+	ShillProbes   int     `json:"shill_probes,omitempty"` // probe consumers measured [100]
+}
+
+// withDefaults fills the bracketed defaults.
+func (s Scenario) withDefaults() Scenario {
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Users <= 0 {
+		s.Users = 10000
+	}
+	if s.Products <= 0 {
+		s.Products = max(500, s.Users/10)
+	}
+	if s.Categories <= 0 {
+		s.Categories = 16
+	}
+	if s.Shape == "" {
+		s.Shape = ShapeConstant
+	}
+	if s.ColdFollower {
+		if s.ColdFollowerDelayS <= 0 {
+			s.ColdFollowerDelayS = s.DurationS / 10
+		}
+		if s.ColdFollowerPageBytes <= 0 {
+			s.ColdFollowerPageBytes = 256 << 10
+		}
+	}
+	if s.ShillFraction > 0 && s.ShillProbes <= 0 {
+		s.ShillProbes = 100
+	}
+	return s
+}
+
+// Validate rejects a scenario the runner cannot execute faithfully.
+func (s Scenario) Validate() error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("loadgen: scenario %q: %s", s.Name, fmt.Sprintf(format, args...))
+	}
+	if s.Name == "" {
+		return fmt.Errorf("loadgen: scenario has no name")
+	}
+	if s.RateOpsS <= 0 {
+		return bad("rate_ops_s must be positive, got %g", s.RateOpsS)
+	}
+	if s.DurationS <= 0 {
+		return bad("duration_s must be positive, got %g", s.DurationS)
+	}
+	if s.MixRecommend < 0 || s.MixSetProfile < 0 || s.MixPurchase < 0 {
+		return bad("mix weights must be non-negative")
+	}
+	if s.MixRecommend+s.MixSetProfile+s.MixPurchase <= 0 {
+		return bad("mix weights sum to zero")
+	}
+	if s.Shape != "" && s.Shape != ShapeConstant && s.Shape != ShapeSine {
+		return bad("unknown shape %q", s.Shape)
+	}
+	for name, v := range map[string]float64{
+		"hot_category_share": s.HotCategoryShare,
+		"churn_fraction":     s.ChurnFraction,
+		"shill_fraction":     s.ShillFraction,
+		"sine_min_frac":      s.SineMinFrac,
+	} {
+		if v < 0 || v > 1 {
+			return bad("%s must be in [0,1], got %g", name, v)
+		}
+	}
+	if s.ChurnFraction > 0 && s.MixSetProfile <= 0 {
+		return bad("churn_fraction needs a set_profile share in the mix")
+	}
+	if s.ShillFraction > 0 && s.MixSetProfile <= 0 {
+		return bad("shill_fraction needs a set_profile share in the mix")
+	}
+	if s.ColdFollower && s.ColdFollowerDelayS >= s.DurationS {
+		return bad("cold_follower_delay_s %g must fall inside duration_s %g",
+			s.ColdFollowerDelayS, s.DurationS)
+	}
+	return nil
+}
+
+// Smoke returns the scenario scaled down to CI size — seconds of load over
+// thousands of users — preserving its shape, mix, and skew.
+func (s Scenario) Smoke() Scenario {
+	s.Users = min(s.Users, 2000)
+	s.Products = min(max(s.Products, 1), 400)
+	s.RateOpsS = min(s.RateOpsS, 400)
+	s.DurationS = min(s.DurationS, 3)
+	if s.Shape == ShapeSine {
+		s.SinePeriodS = min(s.SinePeriodS, s.DurationS)
+	}
+	if s.ColdFollower {
+		s.ColdFollowerDelayS = min(s.ColdFollowerDelayS, s.DurationS/4)
+	}
+	if s.ShillProbes > 0 {
+		s.ShillProbes = min(s.ShillProbes, 25)
+	}
+	return s
+}
+
+// Library is the shipped scenario set: the production shapes the ROADMAP
+// names, each a data document. Sizes are calibrated so a full run drains in
+// a couple of minutes on a single core even when the offered rate exceeds
+// engine capacity (flash-sale does so deliberately — the open-loop backlog
+// IS the measurement); recbench's -users/-rate/-duration flags scale any of
+// them up (to the million-user shape) or down without code changes.
+var Library = []Scenario{
+	{
+		Name:        "flash-sale",
+		Description: "hot-product skew: most traffic slams one Zipf-ranked category while purchases spike on its head product; offered rate deliberately exceeds capacity so the open-loop backlog inflates the tail",
+		Users:       10000, Products: 1200, Categories: 16, Seed: 1,
+		RateOpsS: 300, DurationS: 15,
+		MixRecommend: 0.80, MixSetProfile: 0.05, MixPurchase: 0.15,
+		UserZipfS: 1.2, HotCategoryShare: 0.8,
+	},
+	{
+		Name:        "diurnal",
+		Description: "sine-wave arrival rate between trough and peak, uniform mix — the daily cycle",
+		Users:       10000, Products: 1200, Categories: 16, Seed: 1,
+		RateOpsS: 200, DurationS: 40, Shape: ShapeSine, SineMinFrac: 0.2,
+		MixRecommend: 0.70, MixSetProfile: 0.15, MixPurchase: 0.15,
+	},
+	{
+		Name:        "churn-spill",
+		Description: "sustained consumer churn growing the community under WithMaxResidentShards memory pressure, so cold shards spill and fault back in",
+		Users:       6000, Products: 800, Categories: 16, Seed: 1,
+		RateOpsS: 120, DurationS: 25,
+		MixRecommend: 0.50, MixSetProfile: 0.40, MixPurchase: 0.10,
+		ChurnFraction:     0.6,
+		MaxResidentShards: 4,
+	},
+	{
+		Name:        "cold-follower",
+		Description: "a cold server joins a replicated deployment mid-run and bootstraps every shard via paged snapshots while sustained writes continue",
+		Users:       8000, Products: 1000, Categories: 16, Seed: 1,
+		RateOpsS: 120, DurationS: 30,
+		MixRecommend: 0.40, MixSetProfile: 0.25, MixPurchase: 0.35,
+		ColdFollower: true, ColdFollowerDelayS: 5,
+	},
+	{
+		Name:        "shilling",
+		Description: "profile-shilling attack: fake consumers mimic the hot category's taste and all buy one promoted product; measures CF rank displacement and neighbourhood contamination",
+		Users:       8000, Products: 1000, Categories: 16, Seed: 1,
+		RateOpsS: 150, DurationS: 30,
+		MixRecommend: 0.55, MixSetProfile: 0.30, MixPurchase: 0.15,
+		HotCategoryShare: 0.5,
+		ShillFraction:    0.5, ShillProbes: 100,
+	},
+}
+
+// Scenarios returns the built-in scenario names, sorted.
+func Scenarios() []string {
+	out := make([]string, len(Library))
+	for i, s := range Library {
+		out[i] = s.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup resolves a built-in scenario by name.
+func Lookup(name string) (Scenario, bool) {
+	for _, s := range Library {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// LoadScenario reads a scenario document from a JSON file — the escape
+// hatch that keeps the library data: a scenario nobody shipped is a file,
+// not a fork.
+func LoadScenario(path string) (Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Scenario{}, err
+	}
+	var s Scenario
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Scenario{}, fmt.Errorf("loadgen: parsing scenario %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// driveConfig translates the scenario's arrival process.
+func (s Scenario) driveConfig(workers int) DriveConfig {
+	return DriveConfig{
+		Rate:        s.RateOpsS,
+		Duration:    secs(s.DurationS),
+		Workers:     workers,
+		Shape:       s.Shape,
+		SinePeriod:  secs(s.SinePeriodS),
+		SineMinFrac: s.SineMinFrac,
+	}
+}
+
+// trafficConfig translates the scenario's mix for a generated universe.
+func (s Scenario) trafficConfig(shillTarget string) workload.TrafficConfig {
+	return workload.TrafficConfig{
+		Seed:             s.Seed,
+		MixRecommend:     s.MixRecommend,
+		MixSetProfile:    s.MixSetProfile,
+		MixPurchase:      s.MixPurchase,
+		UserZipfS:        s.UserZipfS,
+		HotCategoryShare: s.HotCategoryShare,
+		ChurnFraction:    s.ChurnFraction,
+		ShillFraction:    s.ShillFraction,
+		ShillTarget:      shillTarget,
+	}
+}

@@ -1,0 +1,170 @@
+package loadgen
+
+import (
+	"sort"
+	"strings"
+
+	"agentrec/internal/recommend"
+	"agentrec/internal/workload"
+)
+
+// Shilling measurement: the shilling scenario installs fake consumers whose
+// profiles mimic the hot category's taste and who all purchase one promoted
+// target product. The attack's success is measured on probe consumers —
+// genuine seeded users with taste for the hot category — by comparing the
+// target's CF rank before and after the run, and by how far shill
+// identities have penetrated the probes' CF neighbourhoods.
+
+// ShillResult is the measured impact of a profile-shilling run.
+type ShillResult struct {
+	TargetProduct string `json:"target_product"`
+	HotCategory   string `json:"hot_category"`
+	ShillProfiles int64  `json:"shill_profiles"` // attack identities installed
+	Probes        int    `json:"probes"`         // genuine consumers measured
+	TopN          int    `json:"top_n"`
+
+	// Rank displacement: the target's position in each probe's top-N CF
+	// list (absent = TopN+1), averaged, before vs after. Positive
+	// displacement = the attack promoted the target.
+	TargetInTopNBefore   int     `json:"target_in_topn_before"`
+	TargetInTopNAfter    int     `json:"target_in_topn_after"`
+	MeanTargetRankBefore float64 `json:"mean_target_rank_before"`
+	MeanTargetRankAfter  float64 `json:"mean_target_rank_after"`
+	MeanRankDisplacement float64 `json:"mean_rank_displacement"`
+
+	// MeanTopNOverlap is |before ∩ after| / |before| averaged over probes
+	// with a non-empty before list — recommendation stability (a recall
+	// proxy: how much of the honest top-N survived the attack).
+	MeanTopNOverlap float64 `json:"mean_topn_overlap"`
+
+	// MeanNeighborShillShare is the fraction of each probe's CF
+	// neighbourhood occupied by shill identities after the run.
+	MeanNeighborShillShare float64 `json:"mean_neighbor_shill_share"`
+}
+
+// shillProbeState carries the pre-attack baseline between the two
+// measurement passes.
+type shillProbeState struct {
+	target      string
+	hotCategory string
+	topN        int
+	probes      []string
+	rankBefore  []int // TopN+1 = absent
+	topBefore   [][]string
+}
+
+// rankOf returns pid's 1-based rank in recs, or absent (= topN+1).
+func rankOf(recs []recommend.Rec, pid string, topN int) int {
+	for i, r := range recs {
+		if r.ProductID == pid {
+			return i + 1
+		}
+	}
+	return topN + 1
+}
+
+func recIDs(recs []recommend.Rec) []string {
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = r.ProductID
+	}
+	return out
+}
+
+// shillBaseline measures the pre-attack CF state: probe consumers are the
+// first `probes` seeded users (by id) with taste for the hot category.
+// Probe reads tolerate CF cold-start errors (an empty list is itself the
+// baseline).
+func shillBaseline(eng *recommend.Engine, u *workload.Universe, tr *workload.Traffic, target string, probes, topN int) *shillProbeState {
+	st := &shillProbeState{target: target, hotCategory: tr.HotCategory(), topN: topN}
+	ids := make([]string, 0, probes)
+	for _, usr := range u.Users {
+		if _, ok := usr.Tastes[st.hotCategory]; ok {
+			ids = append(ids, usr.ID)
+		}
+	}
+	sort.Strings(ids)
+	if len(ids) > probes {
+		ids = ids[:probes]
+	}
+	st.probes = ids
+	for _, id := range ids {
+		recs, err := eng.Recommend(recommend.StrategyCF, id, st.hotCategory, topN)
+		if err != nil {
+			recs = nil
+		}
+		st.rankBefore = append(st.rankBefore, rankOf(recs, target, topN))
+		st.topBefore = append(st.topBefore, recIDs(recs))
+	}
+	return st
+}
+
+// finish re-measures the probes post-attack and assembles the result.
+func (st *shillProbeState) finish(eng *recommend.Engine, shillProfiles int64) *ShillResult {
+	res := &ShillResult{
+		TargetProduct: st.target,
+		HotCategory:   st.hotCategory,
+		ShillProfiles: shillProfiles,
+		Probes:        len(st.probes),
+		TopN:          st.topN,
+	}
+	if len(st.probes) == 0 {
+		return res
+	}
+	var rankBeforeSum, rankAfterSum int
+	var overlapSum float64
+	overlapN := 0
+	var shareSum float64
+	shareN := 0
+	for i, id := range st.probes {
+		recs, err := eng.Recommend(recommend.StrategyCF, id, st.hotCategory, st.topN)
+		if err != nil {
+			recs = nil
+		}
+		rb := st.rankBefore[i]
+		ra := rankOf(recs, st.target, st.topN)
+		if rb <= st.topN {
+			res.TargetInTopNBefore++
+		}
+		if ra <= st.topN {
+			res.TargetInTopNAfter++
+		}
+		rankBeforeSum += rb
+		rankAfterSum += ra
+		if before := st.topBefore[i]; len(before) > 0 {
+			after := make(map[string]bool, len(recs))
+			for _, pid := range recIDs(recs) {
+				after[pid] = true
+			}
+			kept := 0
+			for _, pid := range before {
+				if after[pid] {
+					kept++
+				}
+			}
+			overlapSum += float64(kept) / float64(len(before))
+			overlapN++
+		}
+		if nbrs, err := eng.Neighbors(id, st.hotCategory, recommend.SearchExact); err == nil && len(nbrs) > 0 {
+			shills := 0
+			for _, nb := range nbrs {
+				if strings.HasPrefix(nb.UserID, "shill-") {
+					shills++
+				}
+			}
+			shareSum += float64(shills) / float64(len(nbrs))
+			shareN++
+		}
+	}
+	n := float64(len(st.probes))
+	res.MeanTargetRankBefore = float64(rankBeforeSum) / n
+	res.MeanTargetRankAfter = float64(rankAfterSum) / n
+	res.MeanRankDisplacement = res.MeanTargetRankBefore - res.MeanTargetRankAfter
+	if overlapN > 0 {
+		res.MeanTopNOverlap = overlapSum / float64(overlapN)
+	}
+	if shareN > 0 {
+		res.MeanNeighborShillShare = shareSum / float64(shareN)
+	}
+	return res
+}

@@ -1,0 +1,451 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"agentrec/internal/catalog"
+	"agentrec/internal/ops"
+	"agentrec/internal/platform"
+	"agentrec/internal/profile"
+	"agentrec/internal/recommend"
+	"agentrec/internal/workload"
+)
+
+// world is what RunScenario drives: a Target plus the seeding, metrics,
+// and convergence hooks the result document needs. Three implementations:
+// platformWorld (in-process replicated platform.Platform), coldWorld (a
+// recommend-level deployment with one delayed cold follower), and
+// httpWorld (live platformd daemons, read-only).
+type world interface {
+	Target
+	Seed(profiles []*profile.Profile, purchases map[string][]string) error
+	Metrics() ops.Snapshot
+	Drain(ctx context.Context) (time.Duration, error)
+	ReadEngine() *recommend.Engine // measurement engine; nil over HTTP
+	Close() error
+}
+
+// opExec interprets workload ops against an engine/writer pair. Shared by
+// the in-process worlds; safe for concurrent use (the base profile map is
+// read-only after construction).
+type opExec struct {
+	cat    *catalog.Catalog
+	base   map[string]*profile.Profile // seeded profiles, for refresh ops
+	shills atomic.Int64                // shill installs executed
+}
+
+func newOpExec(cat *catalog.Catalog, profiles []*profile.Profile) *opExec {
+	x := &opExec{cat: cat, base: make(map[string]*profile.Profile, len(profiles))}
+	for _, p := range profiles {
+		x.base[p.UserID] = p
+	}
+	return x
+}
+
+func (x *opExec) apply(eng *recommend.Engine, w recommend.Writer, op workload.Op) error {
+	switch op.Kind {
+	case workload.OpRecommend:
+		_, err := eng.Recommend(recommend.StrategyAuto, op.UserID, op.Category, op.TopN)
+		return err
+	case workload.OpSetProfile:
+		// New consumers (churn, shills) observe with buy-strength evidence
+		// so they enter the CF community immediately; refreshes add one
+		// query-strength observation on top of the seeded profile.
+		var p *profile.Profile
+		behaviour := profile.BehaviourQuery
+		if base := x.base[op.UserID]; base != nil && !op.NewUser {
+			p = base.Clone()
+		} else {
+			p = profile.NewProfile(op.UserID)
+			behaviour = profile.BehaviourBuy
+		}
+		for _, pid := range op.ObserveProducts {
+			prod, err := x.cat.Get(pid)
+			if err != nil {
+				return err
+			}
+			if err := p.Observe(prod.Evidence(behaviour)); err != nil {
+				return err
+			}
+		}
+		if err := w.SetProfile(p); err != nil {
+			return err
+		}
+		if op.Shill && op.ProductID != "" {
+			x.shills.Add(1)
+			return w.RecordPurchase(op.UserID, op.ProductID)
+		}
+		return nil
+	case workload.OpRecordPurchase:
+		return w.RecordPurchase(op.UserID, op.ProductID)
+	default:
+		return fmt.Errorf("loadgen: unknown op kind %v", op.Kind)
+	}
+}
+
+// platformWorld drives a full in-process platform.Platform: reads hit each
+// buyer server's engine round-robin, writes go through each server's own
+// community write surface (the ownership router when replicated), exactly
+// as buyer agent traffic would.
+type platformWorld struct {
+	p       *platform.Platform
+	exec    *opExec
+	servers int
+	next    atomic.Uint64
+}
+
+func newPlatformWorld(s Scenario, u *workload.Universe, profiles []*profile.Profile, servers int, stateDir string) (*platformWorld, error) {
+	cfg := platform.Config{
+		BuyerServers:     servers,
+		Products:         u.Products,
+		ReplicateEngines: servers > 1,
+	}
+	if s.MaxResidentShards > 0 {
+		// Spilling needs a Persister behind the engines.
+		if stateDir == "" {
+			return nil, fmt.Errorf("loadgen: scenario %q sets max_resident_shards and needs a state dir", s.Name)
+		}
+		cfg.StateDir = stateDir
+		cfg.EngineOpts = append(cfg.EngineOpts, recommend.WithMaxResidentShards(s.MaxResidentShards))
+	}
+	p, err := platform.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &platformWorld{p: p, exec: newOpExec(p.Union, profiles), servers: servers}, nil
+}
+
+func (w *platformWorld) Do(_ context.Context, op workload.Op) error {
+	i := int(w.next.Add(1) % uint64(w.servers))
+	eng := w.p.Engines[i%len(w.p.Engines)]
+	return w.exec.apply(eng, w.p.Writer(i), op)
+}
+
+func (w *platformWorld) Seed(profiles []*profile.Profile, purchases map[string][]string) error {
+	return w.p.SeedCommunity(profiles, purchases)
+}
+
+func (w *platformWorld) Metrics() ops.Snapshot { return w.p.Metrics() }
+
+func (w *platformWorld) Drain(ctx context.Context) (time.Duration, error) {
+	start := time.Now()
+	err := w.p.SyncReplicas(ctx)
+	return time.Since(start), err
+}
+
+func (w *platformWorld) ReadEngine() *recommend.Engine { return w.p.Engine }
+
+func (w *platformWorld) Close() error { return w.p.Close() }
+
+// pagedPeer adapts an in-process engine as a Peer that refuses to inline
+// snapshots: a tail that would carry one instead reports Paged, forcing the
+// follower through the real paged bootstrap protocol (Engine.SnapshotPage)
+// under a page byte budget — the wire behaviour of a large-state owner,
+// without standing up TCP.
+type pagedPeer struct {
+	e        *recommend.Engine
+	maxBytes int
+}
+
+func (p pagedPeer) JournalTail(ctx context.Context, shard int, epoch, since uint64) (recommend.TailResult, error) {
+	tr, err := recommend.LocalPeer{Engine: p.e}.JournalTail(ctx, shard, epoch, since)
+	if err != nil {
+		return tr, err
+	}
+	if tr.Snapshot != nil {
+		tr.Snapshot = nil
+		tr.Paged = true
+	}
+	return tr, nil
+}
+
+func (p pagedPeer) SnapshotPage(_ context.Context, shard int, epoch, seq uint64, token string) (recommend.SnapshotPage, error) {
+	return p.e.SnapshotPage(shard, epoch, seq, token, p.maxBytes)
+}
+
+// ColdFollowerResult measures one cold server's paged bootstrap under
+// sustained write load.
+type ColdFollowerResult struct {
+	WarmServers        int     `json:"warm_servers"`
+	DelayS             float64 `json:"delay_s"`      // load ran this long before the join
+	PageBytes          int     `json:"page_bytes"`   // snapshot page budget
+	BootstrapMs        float64 `json:"bootstrap_ms"` // join → all shards caught up
+	ShardsBootstrapped int     `json:"shards_bootstrapped"`
+	PagesPulled        uint64  `json:"pages_pulled"`
+	SnapshotsApplied   uint64  `json:"snapshots_applied"`
+	PagedRestarts      uint64  `json:"paged_restarts"` // owner moved past the pin mid-transfer
+	RecordsApplied     uint64  `json:"records_applied"`
+	LagAfterBootstrap  uint64  `json:"lag_records_after_bootstrap"`
+	UsersOnCold        int     `json:"users_on_cold"`
+	UsersOnWarm        int     `json:"users_on_warm"`
+}
+
+// coldWorld is a recommend-level replicated deployment of warm+1 servers:
+// the world is (re)started with the new server already owning its shard
+// slice — the static shard%N ownership the platform uses — but the new
+// server's *replicas* of everyone else's shards are empty. After DelayS of
+// load its replicator is created against pagedPeer-wrapped owners and one
+// Sync bootstraps every shard through paged snapshots while writes keep
+// flowing. Reads and writes round-robin the warm servers only.
+type coldWorld struct {
+	exec      *opExec
+	engines   []*recommend.Engine // warm servers first, cold server last
+	routers   []*recommend.Router // one per warm server
+	warmRepls []*recommend.Replicator
+	coldRepl  *recommend.Replicator
+	pageBytes int
+	warm      int
+	next      atomic.Uint64
+}
+
+func newColdWorld(s Scenario, u *workload.Universe, profiles []*profile.Profile, warm int) (*coldWorld, error) {
+	cat := catalog.New()
+	for _, p := range u.Products {
+		if err := cat.Upsert(p); err != nil {
+			return nil, err
+		}
+	}
+	w := &coldWorld{exec: newOpExec(cat, profiles), warm: warm, pageBytes: s.ColdFollowerPageBytes}
+	total := warm + 1
+	for i := 0; i < total; i++ {
+		e, err := recommend.Open(cat, recommend.WithJournalFeed(0))
+		if err != nil {
+			w.Close()
+			return nil, err
+		}
+		w.engines = append(w.engines, e)
+	}
+	writers := make([]recommend.Writer, total)
+	for i, e := range w.engines {
+		writers[i] = e
+	}
+	for i := 0; i < warm; i++ {
+		r, err := recommend.NewRouter(w.engines[i], i, writers)
+		if err != nil {
+			w.Close()
+			return nil, err
+		}
+		w.routers = append(w.routers, r)
+	}
+	peers := make([]recommend.Peer, total)
+	for i, e := range w.engines {
+		peers[i] = recommend.LocalPeer{Engine: e}
+	}
+	for i := 0; i < warm; i++ {
+		r, err := recommend.NewReplicator(w.engines[i], i, peers,
+			recommend.WithPullInterval(50*time.Millisecond))
+		if err != nil {
+			w.Close()
+			return nil, err
+		}
+		r.Start()
+		w.warmRepls = append(w.warmRepls, r)
+	}
+	return w, nil
+}
+
+// Bootstrap joins the cold server: its replicator is created against
+// paged peers and one Sync pulls every non-owned shard cold → current.
+// Called once, mid-run, by the scenario runner.
+func (w *coldWorld) Bootstrap(ctx context.Context) (*ColdFollowerResult, error) {
+	total := w.warm + 1
+	cold := w.warm
+	peers := make([]recommend.Peer, total)
+	for i := 0; i < w.warm; i++ {
+		peers[i] = pagedPeer{e: w.engines[i], maxBytes: w.pageBytes}
+	}
+	peers[cold] = recommend.LocalPeer{Engine: w.engines[cold]}
+	r, err := recommend.NewReplicator(w.engines[cold], cold, peers,
+		recommend.WithPullInterval(50*time.Millisecond))
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if err := r.Sync(ctx); err != nil {
+		r.Close()
+		return nil, fmt.Errorf("loadgen: cold bootstrap: %w", err)
+	}
+	bootstrap := time.Since(start)
+	r.Start() // keep tailing for the rest of the run
+	w.coldRepl = r
+
+	res := &ColdFollowerResult{
+		WarmServers: w.warm,
+		PageBytes:   w.pageBytes,
+		BootstrapMs: float64(bootstrap) / float64(time.Millisecond),
+	}
+	st := r.Stats()
+	for _, sh := range st.Shards {
+		if sh.Owner == cold {
+			continue
+		}
+		res.ShardsBootstrapped++
+		res.PagesPulled += sh.Pages
+		res.SnapshotsApplied += sh.Snapshots
+		res.PagedRestarts += sh.Restarts
+		res.RecordsApplied += sh.Records
+	}
+	res.LagAfterBootstrap = st.Lag()
+	return res, nil
+}
+
+func (w *coldWorld) Do(_ context.Context, op workload.Op) error {
+	i := int(w.next.Add(1) % uint64(w.warm))
+	return w.exec.apply(w.engines[i], w.routers[i], op)
+}
+
+func (w *coldWorld) Seed(profiles []*profile.Profile, purchases map[string][]string) error {
+	if err := w.routers[0].SetProfiles(profiles); err != nil {
+		return err
+	}
+	users := make([]string, 0, len(purchases))
+	for user := range purchases {
+		users = append(users, user)
+	}
+	sort.Strings(users) // deterministic journal order across runs
+	for _, user := range users {
+		for _, pid := range purchases[user] {
+			if err := w.routers[0].RecordPurchase(user, pid); err != nil {
+				return err
+			}
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_, err := w.Drain(ctx)
+	return err
+}
+
+func (w *coldWorld) Metrics() ops.Snapshot {
+	snap := ops.Snapshot{AtEpochMs: time.Now().UnixMilli()}
+	for i, e := range w.engines {
+		sv := ops.ServerSnapshot{Server: i, Engine: e.Stats().EventView()}
+		if i < len(w.warmRepls) {
+			repl := w.warmRepls[i].Stats().EventView()
+			sv.Replication = &repl
+		} else if w.coldRepl != nil {
+			repl := w.coldRepl.Stats().EventView()
+			sv.Replication = &repl
+		}
+		snap.Servers = append(snap.Servers, sv)
+	}
+	return snap
+}
+
+func (w *coldWorld) Drain(ctx context.Context) (time.Duration, error) {
+	start := time.Now()
+	var first error
+	for _, r := range w.warmRepls {
+		if err := r.Sync(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	if w.coldRepl != nil {
+		if err := w.coldRepl.Sync(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	return time.Since(start), first
+}
+
+func (w *coldWorld) ReadEngine() *recommend.Engine { return w.engines[0] }
+
+func (w *coldWorld) Close() error {
+	var first error
+	for _, r := range w.warmRepls {
+		if err := r.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if w.coldRepl != nil {
+		if err := w.coldRepl.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, e := range w.engines {
+		if err := e.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// httpWorld drives live platformd buyer daemons over their HTTP surface.
+// Read-only: the HTTP surface's write paths are session-scoped (login +
+// tasks), so only recommend ops are supported and RunScenario rejects
+// scenarios with write mixes. The community is whatever the daemons
+// already hold — unknown consumers exercise the top-seller fallback.
+type httpWorld struct {
+	bases  []string
+	client *http.Client
+	next   atomic.Uint64
+}
+
+func newHTTPWorld(addrs []string) (*httpWorld, error) {
+	w := &httpWorld{client: &http.Client{Timeout: 30 * time.Second}}
+	for _, a := range addrs {
+		base := a
+		if base == "" {
+			return nil, fmt.Errorf("loadgen: empty server address")
+		}
+		if u, err := url.Parse(base); err != nil || u.Scheme == "" {
+			base = "http://" + base
+		}
+		w.bases = append(w.bases, base)
+	}
+	return w, nil
+}
+
+func (w *httpWorld) Do(ctx context.Context, op workload.Op) error {
+	if op.Kind != workload.OpRecommend {
+		return fmt.Errorf("loadgen: http target is read-only, cannot execute %v", op.Kind)
+	}
+	base := w.bases[int(w.next.Add(1)%uint64(len(w.bases)))]
+	q := url.Values{"user": {op.UserID}, "n": {strconv.Itoa(op.TopN)}}
+	if op.Category != "" {
+		q.Set("category", op.Category)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/recommendations?"+q.Encode(), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("loadgen: %s: HTTP %d", base, resp.StatusCode)
+	}
+	return nil
+}
+
+// Seed is a no-op over HTTP: the daemons own their community.
+func (w *httpWorld) Seed([]*profile.Profile, map[string][]string) error { return nil }
+
+// Metrics asks server 0 for the platform snapshot.
+func (w *httpWorld) Metrics() ops.Snapshot {
+	var snap ops.Snapshot
+	resp, err := w.client.Get(w.bases[0] + "/metrics/snapshot")
+	if err != nil {
+		return snap
+	}
+	defer resp.Body.Close()
+	decodeJSONBody(resp.Body, &snap)
+	return snap
+}
+
+func (w *httpWorld) Drain(context.Context) (time.Duration, error) { return 0, nil }
+
+func (w *httpWorld) ReadEngine() *recommend.Engine { return nil }
+
+func (w *httpWorld) Close() error { return nil }

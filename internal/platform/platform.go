@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"path/filepath"
+	"sort"
 	"time"
 
 	"agentrec/internal/aglet"
@@ -114,7 +115,8 @@ type Platform struct {
 	// events.go for the embedder API (Metrics, Subscribe, RunHeartbeat).
 	Events *ops.Bus
 
-	writer        recommend.Writer // seeding write surface (router 0 when replicating)
+	writer        recommend.Writer   // seeding write surface (router 0 when replicating)
+	writers       []recommend.Writer // per-server community write surface
 	hosts         []*aglet.Host
 	stopHeartbeat chan struct{}
 	heartbeatDone chan struct{}
@@ -264,6 +266,7 @@ func New(cfg Config) (*Platform, error) {
 			opts = append(opts, buyerserver.WithEventBus(p.Events))
 		}
 		engine := p.Engine
+		serverWriter := recommend.Writer(engine)
 		if cfg.ReplicateEngines {
 			engine = p.Engines[i]
 			writers := make([]recommend.Writer, cfg.BuyerServers)
@@ -277,8 +280,10 @@ func New(cfg Config) (*Platform, error) {
 			if i == 0 {
 				p.writer = router
 			}
+			serverWriter = router
 			opts = append(opts, buyerserver.WithCommunityWriter(router))
 		}
+		p.writers = append(p.writers, serverWriter)
 		if cfg.StateDir != "" {
 			// Each mechanism persists its own UserDB/BSMDB beside the engine.
 			opts = append(opts, buyerserver.WithStateDir(filepath.Join(cfg.StateDir, name)))
@@ -337,6 +342,17 @@ func (p *Platform) newHost(name string, reg *aglet.Registry) *aglet.Host {
 // Buyer returns the first buyer agent server, the common case.
 func (p *Platform) Buyer() *buyerserver.Server { return p.Buyers[0] }
 
+// Writer returns buyer server i's community write surface — the surface
+// its own agents write through: the shared engine in the default topology,
+// or server i's ownership router when replicating. Load drivers use it to
+// spread writes across servers the way real buyer traffic would.
+func (p *Platform) Writer(i int) recommend.Writer {
+	if i < 0 || i >= len(p.writers) {
+		return nil
+	}
+	return p.writers[i]
+}
+
 // Stock adds a product to marketplace index i and the integrated catalog.
 func (p *Platform) Stock(i int, prod *catalog.Product) error {
 	if i < 0 || i >= len(p.Markets) {
@@ -391,13 +407,27 @@ func (p *Platform) integrate(i int, sellerID string, apply func(*catalog.Integra
 // SeedCommunity installs pre-built consumer profiles and purchase histories
 // into the engine, for examples and experiments that need a warm community.
 // Profiles go through the engine's bulk-install path (one lock acquisition
-// and one durable batch per shard).
+// and one durable batch per shard). Purchases replay grouped by shard —
+// map-order iteration would touch a random shard per record, which under
+// WithMaxResidentShards faults a shard in and out per purchase instead of
+// once per shard.
 func (p *Platform) SeedCommunity(profiles []*profile.Profile, purchases map[string][]string) error {
 	if err := p.writer.SetProfiles(profiles); err != nil {
 		return err
 	}
-	for user, pids := range purchases {
-		for _, pid := range pids {
+	users := make([]string, 0, len(purchases))
+	for user := range purchases {
+		users = append(users, user)
+	}
+	sort.Slice(users, func(i, j int) bool {
+		si, sj := p.Engine.ShardOf(users[i]), p.Engine.ShardOf(users[j])
+		if si != sj {
+			return si < sj
+		}
+		return users[i] < users[j]
+	})
+	for _, user := range users {
+		for _, pid := range purchases[user] {
 			if err := p.writer.RecordPurchase(user, pid); err != nil {
 				return err
 			}

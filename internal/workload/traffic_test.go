@@ -1,0 +1,219 @@
+package workload
+
+import (
+	"encoding/json"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func testUniverse(t *testing.T, cfg Config) *Universe {
+	t.Helper()
+	u, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+// universeBytes is the canonical byte form of everything Generate produces
+// that downstream consumers (seeding, traffic, evaluation) read.
+func universeBytes(t *testing.T, u *Universe) []byte {
+	t.Helper()
+	data, err := json.Marshal(struct {
+		Products  any
+		Users     any
+		Purchases any
+	}{u.Products, u.Users, u.Purchases()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestGenerateByteDeterministic is the replica-agreement property: the same
+// seed must yield a byte-identical universe on every run and under every
+// GOMAXPROCS, because replicated servers and re-runs regenerate it
+// independently and must agree.
+func TestGenerateByteDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, Users: 400, Products: 300, Categories: 12, ColdStartUsers: 10}
+	first := universeBytes(t, testUniverse(t, cfg))
+
+	for run := 0; run < 3; run++ {
+		if got := universeBytes(t, testUniverse(t, cfg)); string(got) != string(first) {
+			t.Fatalf("run %d: universe bytes diverged for the same seed", run)
+		}
+	}
+
+	prev := runtime.GOMAXPROCS(1)
+	serial := universeBytes(t, testUniverse(t, cfg))
+	runtime.GOMAXPROCS(prev)
+	if string(serial) != string(first) {
+		t.Fatal("universe bytes depend on GOMAXPROCS")
+	}
+
+	if got := universeBytes(t, testUniverse(t, Config{Seed: 43, Users: 400, Products: 300, Categories: 12, ColdStartUsers: 10})); string(got) == string(first) {
+		t.Fatal("different seeds produced identical universes; the property test is vacuous")
+	}
+}
+
+// TestTrafficOpDeterministic: Op(i) is a pure function of the index — two
+// independently built schedules agree op for op, and concurrent readers see
+// exactly the serial sequence.
+func TestTrafficOpDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, Users: 300, Products: 200, Categories: 10}
+	tcfg := TrafficConfig{
+		Seed: 7, MixRecommend: 0.6, MixSetProfile: 0.25, MixPurchase: 0.15,
+		UserZipfS: 1.2, HotCategoryShare: 0.7, ChurnFraction: 0.3,
+	}
+	a, err := NewTraffic(testUniverse(t, cfg), tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTraffic(testUniverse(t, cfg), tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 5000
+	serial := make([]Op, n)
+	for i := range serial {
+		serial[i] = a.Op(uint64(i))
+		if got := b.Op(uint64(i)); !reflect.DeepEqual(got, serial[i]) {
+			t.Fatalf("op %d: independently built schedules disagree:\n%+v\n%+v", i, got, serial[i])
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += 8 {
+				if got := a.Op(uint64(i)); !reflect.DeepEqual(got, serial[i]) {
+					t.Errorf("op %d: concurrent read diverged from serial", i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestTrafficMixShares: the realized kind mix tracks the configured weights.
+func TestTrafficMixShares(t *testing.T) {
+	u := testUniverse(t, Config{Seed: 3, Users: 200, Products: 150})
+	tr, err := NewTraffic(u, TrafficConfig{Seed: 3, MixRecommend: 0.5, MixSetProfile: 0.3, MixPurchase: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	var counts [3]int
+	for i := uint64(0); i < n; i++ {
+		counts[tr.Op(i).Kind]++
+	}
+	for kind, want := range map[OpKind]float64{OpRecommend: 0.5, OpSetProfile: 0.3, OpRecordPurchase: 0.2} {
+		got := float64(counts[kind]) / n
+		if got < want-0.02 || got > want+0.02 {
+			t.Errorf("%v share = %.3f, want %.2f ± 0.02", kind, got, want)
+		}
+	}
+}
+
+// TestTrafficHotCategorySkew: with full concentration every recommend op
+// hits the hot category, and the flash-sale head product dominates
+// purchases.
+func TestTrafficHotCategorySkew(t *testing.T) {
+	u := testUniverse(t, Config{Seed: 5, Users: 100, Products: 200, Categories: 8})
+	tr, err := NewTraffic(u, TrafficConfig{
+		Seed: 5, MixRecommend: 0.5, MixPurchase: 0.5, HotCategoryShare: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := tr.HotCategory()
+	if hot == "" {
+		t.Fatal("no hot category")
+	}
+	head := tr.HotProducts()[0]
+	headBuys, buys := 0, 0
+	for i := uint64(0); i < 4000; i++ {
+		op := tr.Op(i)
+		switch op.Kind {
+		case OpRecommend:
+			if op.Category != hot {
+				t.Fatalf("op %d: recommend aimed at %q, want hot category %q", i, op.Category, hot)
+			}
+		case OpRecordPurchase:
+			buys++
+			if op.ProductID == head {
+				headBuys++
+			}
+		}
+	}
+	if buys == 0 || float64(headBuys)/float64(buys) < 0.3 {
+		t.Errorf("flash-sale head got %d/%d purchases; Zipf skew should concentrate on it", headBuys, buys)
+	}
+}
+
+// TestTrafficChurnAndShill: churn ops introduce distinct new consumers;
+// shill ops promote the target with fresh identities.
+func TestTrafficChurnAndShill(t *testing.T) {
+	u := testUniverse(t, Config{Seed: 9, Users: 50, Products: 100})
+	tr, err := NewTraffic(u, TrafficConfig{
+		Seed: 9, MixSetProfile: 1, ChurnFraction: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for i := uint64(0); i < 500; i++ {
+		op := tr.Op(i)
+		if !op.NewUser || !strings.HasPrefix(op.UserID, "churn-") {
+			t.Fatalf("op %d: want churn new-user op, got %+v", i, op)
+		}
+		if seen[op.UserID] {
+			t.Fatalf("churn id %s reused; churn must grow the community", op.UserID)
+		}
+		seen[op.UserID] = true
+	}
+
+	target := tr.HotProducts()[0]
+	shill, err := NewTraffic(u, TrafficConfig{
+		Seed: 9, MixSetProfile: 1, ShillFraction: 1, ShillTarget: target,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 200; i++ {
+		op := shill.Op(i)
+		if !op.Shill || op.ProductID != target || !strings.HasPrefix(op.UserID, "shill-") {
+			t.Fatalf("op %d: want shill op promoting %s, got %+v", i, target, op)
+		}
+		if op.ObserveProducts[0] != target {
+			t.Fatalf("op %d: shill profile must observe the target first, got %v", i, op.ObserveProducts)
+		}
+	}
+}
+
+// TestTrafficValidation: bad schedule configs are rejected.
+func TestTrafficValidation(t *testing.T) {
+	u := testUniverse(t, Config{Seed: 2, Users: 20, Products: 30})
+	if _, err := NewTraffic(u, TrafficConfig{MixRecommend: -1}); err == nil {
+		t.Error("negative mix accepted")
+	}
+	if _, err := NewTraffic(u, TrafficConfig{MixSetProfile: 1, ShillFraction: 0.5}); err == nil {
+		t.Error("shill fraction without target accepted")
+	}
+	tr, err := NewTraffic(u, TrafficConfig{}) // zero mix defaults to recommend-only
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 50; i++ {
+		if tr.Op(i).Kind != OpRecommend {
+			t.Fatal("zero mix must default to recommend-only")
+		}
+	}
+}
