@@ -150,6 +150,22 @@ func WithReplicatedEngines() Option {
 	return func(c *platform.Config) { c.ReplicateEngines = true }
 }
 
+// WithElasticOwnership puts shard ownership under the Coordinator Server's
+// lease authority instead of the static shard%N map: every Buyer Agent
+// Server renews an ownership lease each interval (1s when zero; the
+// authority's lease TTL is three times it), writes route by the leased
+// epoch-versioned ownership map, every routed write and replication pull
+// is epoch-fenced, and when an owner's lease lapses its shards are
+// promoted to the most caught-up live follower. Map transitions surface as
+// `ownership` events with WithEvents. Requires WithReplicatedEngines; see
+// DESIGN.md "Ownership & failover".
+func WithElasticOwnership(interval time.Duration) Option {
+	return func(c *platform.Config) {
+		c.ElasticOwnership = true
+		c.OwnershipLease = interval
+	}
+}
+
 // WithStateDir makes the platform durable under dir (created if absent):
 // the recommendation engine write-through journals every consumer profile,
 // purchase, and sell count to a WAL-backed store and recovers the whole
@@ -210,6 +226,7 @@ const (
 	KindJournal    = ops.KindJournal
 	KindLag        = ops.KindLag
 	KindCompaction = ops.KindCompaction
+	KindOwnership  = ops.KindOwnership
 	KindDropped    = ops.KindDropped
 )
 

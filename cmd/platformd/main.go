@@ -35,6 +35,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -89,6 +90,8 @@ type daemonConfig struct {
 	events         bool
 	eventsInterval time.Duration
 	repl           *replConfig
+	elastic        bool
+	leaseInterval  time.Duration
 	verbose        bool
 }
 
@@ -110,6 +113,8 @@ func main() {
 		annProbes    = flag.Int("ann-probes", 0, "LSH multi-probe width per hash table (0 = engine default; needs -ann)")
 		events       = flag.Bool("events", false, "event plane: stream journal/lag/compaction/rec-delta events and snapshots at GET /events and /metrics/snapshot")
 		eventsEvery  = flag.Duration("events-interval", 5*time.Second, "snapshot heartbeat period on the event plane (needs -events)")
+		elastic      = flag.Bool("coordinator", false, "coordinator-mediated elastic shard ownership: lease the ownership map from the CA at -coord and epoch-fence every replication frame (all daemons must share one -coord address; needs -buyer-peers)")
+		leaseEvery   = flag.Duration("lease-interval", time.Second, "ownership lease renewal cadence; the CA declares a server dead after 3 missed renewals (needs -coordinator)")
 		verbose      = flag.Bool("trace", false, "print every workflow step")
 	)
 	flag.Parse()
@@ -157,6 +162,8 @@ func main() {
 		events:         *events,
 		eventsInterval: *eventsEvery,
 		repl:           repl,
+		elastic:        *elastic,
+		leaseInterval:  *leaseEvery,
 		verbose:        *verbose,
 	}); err != nil {
 		log.Fatal(err)
@@ -202,6 +209,13 @@ func run(ctx context.Context, cfg daemonConfig) error {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	if cfg.elastic && cfg.repl == nil {
+		return errors.New("platformd: -coordinator requires -buyer-peers (elastic ownership is a property of a replicated deployment)")
+	}
+	if cfg.leaseInterval <= 0 {
+		cfg.leaseInterval = time.Second
+	}
+
 	signer := security.NewSigner([]byte(cfg.key))
 	client := atp.NewClient(signer)
 	tracer := trace.New()
@@ -227,17 +241,64 @@ func run(ctx context.Context, cfg daemonConfig) error {
 		return host, srv, nil
 	}
 
-	// Coordinator.
+	// Coordinator. A standalone or statically replicated daemon hosts its
+	// own; a -coordinator deployment shares ONE CA address across daemons —
+	// the first to bind hosts the ownership authority, everyone else joins
+	// it over the wire (registration, admission, and lease renewals all
+	// speak to the same CA).
 	coordReg := aglet.NewRegistry()
+	var coord *coordinator.Coordinator
 	coordHost, _, err := up(cfg.coordAddr, coordReg)
 	if err != nil {
-		return err
+		if !cfg.elastic {
+			return err
+		}
+		log.Printf("coordinator %s already hosted elsewhere; joining it as a client", cfg.coordAddr)
+	} else {
+		if coord, err = coordinator.New(coordHost, coordReg, coordinator.WithTracer(tracer)); err != nil {
+			return err
+		}
+		log.Printf("coordinator up at %s", cfg.coordAddr)
+		if cfg.elastic {
+			auth, err := coordinator.NewOwnershipAuthority(coordinator.OwnershipConfig{
+				Shards:   cfg.shards,
+				Servers:  len(cfg.repl.servers),
+				LeaseTTL: 3 * cfg.leaseInterval,
+			})
+			if err != nil {
+				return err
+			}
+			coord.AttachOwnership(auth)
+			log.Printf("ownership authority attached: %d shards / %d servers, lease TTL %v", cfg.shards, len(cfg.repl.servers), 3*cfg.leaseInterval)
+		}
 	}
-	coord, err := coordinator.New(coordHost, coordReg, coordinator.WithTracer(tracer))
-	if err != nil {
-		return err
+	// register adds a directory entry — in-process when this daemon hosts
+	// the CA, over the wire (with retries while the hosting daemon boots)
+	// otherwise.
+	register := func(from *aglet.Host, entry coordinator.Registration) error {
+		if coord != nil {
+			return coord.Register(entry)
+		}
+		data, err := json.Marshal(entry)
+		if err != nil {
+			return fmt.Errorf("platformd: encoding registration: %w", err)
+		}
+		proxy := from.RemoteProxy(cfg.coordAddr, coordinator.CAID)
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			sctx, scancel := context.WithTimeout(ctx, 5*time.Second)
+			_, err := proxy.Send(sctx, aglet.Message{Kind: coordinator.KindRegister, Data: data})
+			scancel()
+			if err == nil || ctx.Err() != nil || time.Now().After(deadline) {
+				return err
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(250 * time.Millisecond):
+			}
+		}
 	}
-	log.Printf("coordinator up at %s", cfg.coordAddr)
 
 	// Marketplaces with a demo catalog.
 	union := catalog.New()
@@ -262,7 +323,7 @@ func run(ctx context.Context, cfg daemonConfig) error {
 		if _, err := marketplace.NewServer(host, cat, reg); err != nil {
 			return err
 		}
-		if err := coord.Register(coordinator.Registration{
+		if err := register(host, coordinator.Registration{
 			Kind: coordinator.KindMarketplace, Name: addr, Addr: addr,
 		}); err != nil {
 			return err
@@ -325,20 +386,34 @@ func run(ctx context.Context, cfg daemonConfig) error {
 		log.Printf("recovered community from %s: %d consumers, %d indexed categories", cfg.stateDir, st.Users, st.IndexedCategories)
 	}
 	var replicator *recommend.Replicator
+	var owners *recommend.OwnershipTable
 	if cfg.repl != nil {
 		// Serve our shards' journal to peer buyer servers, route writes to
-		// shard owners, and tail the shards we do not own.
-		buyerSrv.SetJournalHandler(replnet.Handler(engine, cfg.repl.self, len(cfg.repl.servers)))
+		// shard owners, and tail the shards we do not own. With
+		// -coordinator every side of the wire is epoch-fenced through this
+		// server's leased ownership table, which starts from the same
+		// static epoch-1 map on every daemon so routing is consistent
+		// before the first lease lands.
+		var wireOpts []replnet.Option
+		if cfg.elastic {
+			owners = recommend.NewOwnershipTable(recommend.StaticOwnership(cfg.shards, len(cfg.repl.servers)))
+			wireOpts = append(wireOpts, replnet.WithOwnership(owners))
+		}
+		buyerSrv.SetJournalHandler(replnet.Handler(engine, cfg.repl.self, len(cfg.repl.servers), wireOpts...))
 		writers := make([]recommend.Writer, len(cfg.repl.servers))
 		peers := make([]recommend.Peer, len(cfg.repl.servers))
 		for i, addr := range cfg.repl.servers {
 			if i == cfg.repl.self {
 				continue
 			}
-			writers[i] = replnet.NewWriter(ctx, client, addr)
-			peers[i] = replnet.NewPeer(client, addr)
+			writers[i] = replnet.NewWriter(ctx, client, addr, wireOpts...)
+			peers[i] = replnet.NewPeer(client, addr, wireOpts...)
 		}
-		router, err := recommend.NewRouter(engine, cfg.repl.self, writers)
+		var routerOpts []recommend.RouterOption
+		if owners != nil {
+			routerOpts = append(routerOpts, recommend.RouteWithOwnership(owners))
+		}
+		router, err := recommend.NewRouter(engine, cfg.repl.self, writers, routerOpts...)
 		if err != nil {
 			return err
 		}
@@ -346,6 +421,9 @@ func run(ctx context.Context, cfg daemonConfig) error {
 		ropts := []recommend.ReplicatorOption{recommend.WithPullInterval(cfg.repl.interval)}
 		if bus != nil {
 			ropts = append(ropts, recommend.WithReplicationEvents(bus, self))
+		}
+		if owners != nil {
+			ropts = append(ropts, recommend.PullWithOwnership(owners))
 		}
 		replicator, err = recommend.NewReplicator(engine, cfg.repl.self, peers, ropts...)
 		if err != nil {
@@ -407,6 +485,44 @@ func run(ctx context.Context, cfg daemonConfig) error {
 			}
 			return nil
 		})
+		// Startup map-consistency check: every reachable peer must agree
+		// on the ownership map before divergence can do damage.
+		g.Go(func() error { return checkOwnerMaps(gctx, client, owners, cfg) })
+	}
+	if owners != nil {
+		// Lease client: renew against the shared CA (local or remote — the
+		// same wire either way), adopt map transitions into this server's
+		// table, and publish each adopted transition on the event plane.
+		leaseCA := buyerHost.RemoteProxy(cfg.coordAddr, coordinator.CAID)
+		lc := &coordinator.LeaseClient{
+			Self:  cfg.repl.self,
+			Table: owners,
+			Renew: func(rctx context.Context, server int, applied []uint64) (coordinator.LeaseGrant, error) {
+				data, err := json.Marshal(coordinator.LeaseRequest{Server: server, Applied: applied})
+				if err != nil {
+					return coordinator.LeaseGrant{}, fmt.Errorf("platformd: encoding lease renewal: %w", err)
+				}
+				sctx, scancel := context.WithTimeout(rctx, 5*time.Second)
+				defer scancel()
+				reply, err := leaseCA.Send(sctx, aglet.Message{Kind: coordinator.KindLease, Data: data})
+				if err != nil {
+					return coordinator.LeaseGrant{}, err
+				}
+				var grant coordinator.LeaseGrant
+				if err := json.Unmarshal(reply.Data, &grant); err != nil {
+					return coordinator.LeaseGrant{}, fmt.Errorf("platformd: decoding lease grant: %w", err)
+				}
+				return grant, nil
+			},
+			Applied:  replicator.AppliedSeqs,
+			Interval: cfg.leaseInterval,
+			OnError:  func(err error) { log.Printf("ownership lease renewal: %v", err) },
+		}
+		if bus != nil {
+			lc.Publish = func(ev ops.Event) { bus.Publish(ev) }
+		}
+		g.Go(func() error { lc.Run(gctx); return nil })
+		log.Printf("elastic ownership on: leasing the map from %s every %v", cfg.coordAddr, cfg.leaseInterval)
 	}
 	if bus != nil {
 		interval := cfg.eventsInterval
@@ -436,6 +552,74 @@ func run(ctx context.Context, cfg daemonConfig) error {
 	}
 	log.Printf("consumer web interface at http://%s", cfg.httpAddr)
 	return g.Wait()
+}
+
+// ownerMapProbeWindow bounds how long checkOwnerMaps keeps retrying an
+// unreachable peer before skipping it. A var so tests can shrink it.
+var ownerMapProbeWindow = 60 * time.Second
+
+// checkOwnerMaps verifies at startup that every reachable peer agrees on
+// the ownership map this server computed: same -engine-shards, same
+// -buyer-peers length, a different self index, and — while both sides
+// still sit at the static epoch-1 map — the same map hash. Any of these
+// disagreeing (a peer list in a different order, a different shard count)
+// would otherwise silently diverge replicas at runtime; failing the daemon
+// with both views named is the cheap alternative. A peer that never
+// answers inside the probe window is skipped, not failed: it may simply
+// not have started yet, and it runs the same check against us when it
+// does.
+func checkOwnerMaps(ctx context.Context, client *atp.Client, owners *recommend.OwnershipTable, cfg daemonConfig) error {
+	localMap := func() recommend.OwnershipMap {
+		if owners != nil {
+			return owners.Current()
+		}
+		return recommend.StaticOwnership(cfg.shards, len(cfg.repl.servers))
+	}
+	deadline := time.Now().Add(ownerMapProbeWindow)
+	agreed := 0
+	for i, addr := range cfg.repl.servers {
+		if i == cfg.repl.self {
+			continue
+		}
+		peer := replnet.NewPeer(client, addr)
+		for {
+			pctx, pcancel := context.WithTimeout(ctx, 2*time.Second)
+			info, err := peer.OwnerMap(pctx)
+			pcancel()
+			if err == nil {
+				if info.Shards != cfg.shards {
+					return fmt.Errorf("platformd: owner-map mismatch with %s: it runs %d engine shards, this server %d — every buyer server must agree on -engine-shards", addr, info.Shards, cfg.shards)
+				}
+				if info.Servers != len(cfg.repl.servers) {
+					return fmt.Errorf("platformd: owner-map mismatch with %s: it lists %d buyer servers, this server %d — do the -buyer-peers lists agree?", addr, info.Servers, len(cfg.repl.servers))
+				}
+				if info.Self == cfg.repl.self {
+					return fmt.Errorf("platformd: owner-map mismatch with %s: it also claims index %d in -buyer-peers — the lists must agree on order", addr, info.Self)
+				}
+				if local := localMap(); local.Epoch == 1 && info.Epoch == 1 && info.Hash != local.Hash() {
+					return fmt.Errorf("platformd: owner-map mismatch with %s: its epoch-1 map hashes %s, this server's %s — do the -buyer-peers lists agree on order and -engine-shards on value?", addr, info.Hash, local.Hash())
+				}
+				agreed++
+				break
+			}
+			if ctx.Err() != nil {
+				return nil // shutting down; not a verdict
+			}
+			if time.Now().After(deadline) {
+				log.Printf("owner-map check: %s unreachable (%v); skipping — it verifies against us when it starts", addr, err)
+				break
+			}
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(500 * time.Millisecond):
+			}
+		}
+	}
+	if agreed > 0 {
+		log.Printf("owner-map check: %d peer(s) agree on the ownership map", agreed)
+	}
+	return nil
 }
 
 // watchTrace tails the workflow recorder until ctx cancels, printing each

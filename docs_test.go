@@ -225,7 +225,7 @@ func TestBenchScenarioDocsValid(t *testing.T) {
 	}
 	// The committed trajectory must cover the promised scenarios, from
 	// replicated multi-server runs, with their special sections present.
-	for _, want := range []string{"flash-sale", "churn-spill", "cold-follower", "shilling"} {
+	for _, want := range []string{"flash-sale", "churn-spill", "cold-follower", "failover", "shilling"} {
 		res := found[want]
 		if res == nil {
 			t.Errorf("committed trajectory is missing BENCH_%s.json", want)
@@ -238,6 +238,18 @@ func TestBenchScenarioDocsValid(t *testing.T) {
 	if res := found["cold-follower"]; res != nil {
 		if res.ColdFollower == nil || res.ColdFollower.PagesPulled == 0 {
 			t.Error("cold-follower trajectory has no paged bootstrap measurement")
+		}
+	}
+	if res := found["failover"]; res != nil {
+		switch fo := res.Failover; {
+		case fo == nil:
+			t.Error("failover trajectory has no failover section")
+		case fo.PromotedEpoch < 2:
+			t.Errorf("failover trajectory never advanced the ownership map (epoch %d)", fo.PromotedEpoch)
+		case fo.LostAckedWrites != 0:
+			t.Errorf("failover trajectory lost %d acknowledged writes", fo.LostAckedWrites)
+		case fo.DivergentShards != 0:
+			t.Errorf("failover trajectory has %d divergent shards", fo.DivergentShards)
 		}
 	}
 	if res := found["shilling"]; res != nil {

@@ -89,8 +89,9 @@ type Coordinator struct {
 	host   *aglet.Host
 	tracer *trace.Recorder
 
-	mu      sync.Mutex
-	entries map[string]Registration // key: string(kind)+"/"+name
+	mu        sync.Mutex
+	entries   map[string]Registration // key: string(kind)+"/"+name
+	ownership *Authority              // nil unless AttachOwnership was called
 }
 
 // Option configures a Coordinator.
@@ -253,6 +254,20 @@ func (a *caAgent) HandleMessage(_ *aglet.Context, msg aglet.Message) (aglet.Mess
 			return aglet.Message{}, err
 		}
 		return marshalReply(KindAdmit, AckReply{OK: true})
+	case KindLease:
+		auth := a.coord.Ownership()
+		if auth == nil {
+			return aglet.Message{}, errors.New("coordinator: no ownership authority attached (static ownership deployment?)")
+		}
+		var req LeaseRequest
+		if err := json.Unmarshal(msg.Data, &req); err != nil {
+			return aglet.Message{}, fmt.Errorf("coordinator: bad lease renewal: %w", err)
+		}
+		grant, err := auth.Renew(req.Server, req.Applied)
+		if err != nil {
+			return aglet.Message{}, err
+		}
+		return marshalReply(KindLease, grant)
 	default:
 		return aglet.Message{}, fmt.Errorf("coordinator: CA does not understand %q", msg.Kind)
 	}

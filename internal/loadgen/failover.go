@@ -1,0 +1,624 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"agentrec/internal/catalog"
+	"agentrec/internal/coordinator"
+	"agentrec/internal/ops"
+	"agentrec/internal/profile"
+	"agentrec/internal/recommend"
+	"agentrec/internal/workload"
+)
+
+// FailoverResult measures one kill-the-owner chaos drill: how long writes
+// to the dead owner's shards were unavailable, that every acknowledged
+// write survived the promotion, that the deposed owner's replayed writes
+// were fenced, and that the survivors' replicas did not diverge.
+type FailoverResult struct {
+	Victim                int     `json:"victim"`                  // server index that was killed
+	KilledAtS             float64 `json:"killed_at_s"`             // load ran this long before the kill
+	LeaseTTLMs            int     `json:"lease_ttl_ms"`            // coordinator lease TTL in force
+	PromotedEpoch         uint64  `json:"promoted_epoch"`          // map epoch after the failover transition(s)
+	ShardsMoved           int     `json:"shards_moved"`            // shards not on their static owner at the end
+	WriteUnavailabilityMs float64 `json:"write_unavailability_ms"` // kill -> first accepted write to a victim shard
+	BlockedWrites         int64   `json:"blocked_writes"`          // write attempts fenced during the window (then retried)
+	StaleWritesRejected   int     `json:"stale_writes_rejected"`   // deposed owner's replayed writes, all rejected
+	AckedWrites           int64   `json:"acked_writes"`            // driver writes acknowledged over the whole run
+	LostAckedWrites       int     `json:"lost_acked_writes"`       // acked writes missing from a survivor afterwards (must be 0)
+	DivergentShards       int     `json:"divergent_shards"`        // shards whose survivor replicas differ (must be 0)
+}
+
+// Server liveness states of the staged kill. A real owner crash is not
+// instantaneous from the cluster's point of view: the process stops
+// accepting traffic first (connections refused), while its already-durable
+// journal is still drainable by followers until the machine is gone. The
+// gate models exactly that: gateWriteDead refuses writes and lease
+// renewals but still serves journal tails; gateDead serves nothing.
+const (
+	gateLive int32 = iota
+	gateWriteDead
+	gateDead
+)
+
+// errServerDown is the in-process stand-in for "connection refused".
+var errServerDown = errors.New("loadgen: server down (failover chaos)")
+
+// gatedWriter fronts one server's fenced write surface with its liveness
+// gate, so a killed server refuses routed writes like a dead TCP peer.
+type gatedWriter struct {
+	gate *atomic.Int32
+	w    recommend.Writer
+}
+
+func (g gatedWriter) check() error {
+	if g.gate.Load() != gateLive {
+		return errServerDown
+	}
+	return nil
+}
+
+func (g gatedWriter) SetProfile(p *profile.Profile) error {
+	if err := g.check(); err != nil {
+		return err
+	}
+	return g.w.SetProfile(p)
+}
+
+func (g gatedWriter) SetProfiles(ps []*profile.Profile) error {
+	if err := g.check(); err != nil {
+		return err
+	}
+	return g.w.SetProfiles(ps)
+}
+
+func (g gatedWriter) RecordPurchase(userID, productID string) error {
+	if err := g.check(); err != nil {
+		return err
+	}
+	return g.w.RecordPurchase(userID, productID)
+}
+
+func (g gatedWriter) RecordPurchaseAt(userID, productID string, at time.Time) error {
+	if err := g.check(); err != nil {
+		return err
+	}
+	return g.w.RecordPurchaseAt(userID, productID, at)
+}
+
+// gatedPeer fronts one server's journal-tail surface with its gate: a
+// write-dead server still serves tails (its journal survives the crash
+// until the machine is reclaimed), a dead one serves nothing.
+type gatedPeer struct {
+	gate *atomic.Int32
+	p    recommend.Peer
+}
+
+func (g gatedPeer) JournalTail(ctx context.Context, shard int, epoch, since uint64) (recommend.TailResult, error) {
+	if g.gate.Load() == gateDead {
+		return recommend.TailResult{}, errServerDown
+	}
+	return g.p.JournalTail(ctx, shard, epoch, since)
+}
+
+func (g gatedPeer) SnapshotPage(ctx context.Context, shard int, epoch, seq uint64, token string) (recommend.SnapshotPage, error) {
+	if g.gate.Load() == gateDead {
+		return recommend.SnapshotPage{}, errServerDown
+	}
+	return g.p.SnapshotPage(ctx, shard, epoch, seq, token)
+}
+
+// isOwnerUnavailable classifies the errors a write hits while its shard's
+// ownership is in flux: the dead server itself, a lapsed lease, or an
+// epoch the cluster has moved past. These are the retryable window the
+// drill measures; anything else is a real failure.
+func isOwnerUnavailable(err error) bool {
+	return errors.Is(err, errServerDown) ||
+		errors.Is(err, recommend.ErrLeaseExpired) ||
+		errors.Is(err, recommend.ErrStaleEpoch) ||
+		errors.Is(err, recommend.ErrNotOwner)
+}
+
+// failoverWorld is a recommend-level elastic deployment wired exactly like
+// the platform's coordinator mode: per-server ownership tables leased from
+// one in-process authority, epoch-stamped OwnedWriter routing, and
+// ownership-aware replicators. Mid-run the runner kills the victim (the
+// static owner of the most shards) through the staged gate; the authority
+// promotes the most caught-up survivor, and every driver write blocked by
+// the transition retries until the promoted owner accepts it — so the
+// open-loop latency trajectory carries the unavailability window instead
+// of an error count.
+type failoverWorld struct {
+	exec     *opExec
+	servers  int
+	victim   int
+	leaseTTL time.Duration
+
+	engines []*recommend.Engine
+	tables  []*recommend.OwnershipTable
+	routers []*recommend.Router
+	repls   []*recommend.Replicator
+	gates   []*atomic.Int32
+
+	auth         *coordinator.Authority
+	leaseCancels []context.CancelFunc
+	leaseWG      sync.WaitGroup
+
+	next    atomic.Uint64
+	blocked atomic.Int64
+
+	ackedWrites atomic.Int64
+	ackedMu     sync.Mutex
+	acked       map[string]bool // users with >=1 acknowledged write
+
+	probeWG sync.WaitGroup
+	resMu   sync.Mutex
+	killed  bool
+	killedW time.Time
+	recovW  time.Time // zero until the first post-kill write lands
+	probeEr error
+}
+
+func newFailoverWorld(s Scenario, u *workload.Universe, profiles []*profile.Profile, servers int, stateDir string) (*failoverWorld, error) {
+	cat := catalog.New()
+	for _, p := range u.Products {
+		if err := cat.Upsert(p); err != nil {
+			return nil, err
+		}
+	}
+	w := &failoverWorld{
+		exec:     newOpExec(cat, profiles),
+		servers:  servers,
+		victim:   0, // static shard%N gives server 0 the most shards
+		leaseTTL: time.Duration(s.FailoverLeaseMs) * time.Millisecond,
+		acked:    make(map[string]bool),
+	}
+	for i := 0; i < servers; i++ {
+		opts := []recommend.Option{recommend.WithJournalFeed(0)}
+		if stateDir != "" {
+			opts = append(opts, recommend.WithPersistence(filepath.Join(stateDir, "server-"+strconv.Itoa(i))))
+		}
+		e, err := recommend.Open(cat, opts...)
+		if err != nil {
+			w.Close()
+			return nil, err
+		}
+		w.engines = append(w.engines, e)
+		var gate atomic.Int32
+		w.gates = append(w.gates, &gate)
+	}
+	shards := w.engines[0].Shards()
+	auth, err := coordinator.NewOwnershipAuthority(coordinator.OwnershipConfig{
+		Shards: shards, Servers: servers,
+		LeaseTTL: w.leaseTTL,
+	})
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	w.auth = auth
+	for i := 0; i < servers; i++ {
+		w.tables = append(w.tables, recommend.NewOwnershipTable(recommend.StaticOwnership(shards, servers)))
+	}
+	for i := 0; i < servers; i++ {
+		writers := make([]recommend.Writer, servers)
+		for j := 0; j < servers; j++ {
+			if j == i {
+				continue // NewRouter substitutes the local engine
+			}
+			writers[j] = gatedWriter{gate: w.gates[j], w: recommend.OwnedWriter{
+				Local: w.engines[j], Self: j, Table: w.tables[j], Sender: w.tables[i],
+			}}
+		}
+		r, err := recommend.NewRouter(w.engines[i], i, writers, recommend.RouteWithOwnership(w.tables[i]))
+		if err != nil {
+			w.Close()
+			return nil, err
+		}
+		w.routers = append(w.routers, r)
+	}
+	peers := make([]recommend.Peer, servers)
+	for j := 0; j < servers; j++ {
+		peers[j] = gatedPeer{gate: w.gates[j], p: recommend.LocalPeer{Engine: w.engines[j]}}
+	}
+	for i := 0; i < servers; i++ {
+		r, err := recommend.NewReplicator(w.engines[i], i, peers,
+			recommend.WithPullInterval(25*time.Millisecond),
+			recommend.PullWithOwnership(w.tables[i]))
+		if err != nil {
+			w.Close()
+			return nil, err
+		}
+		r.Start()
+		w.repls = append(w.repls, r)
+	}
+	for i := 0; i < servers; i++ {
+		i := i
+		ctx, cancel := context.WithCancel(context.Background())
+		w.leaseCancels = append(w.leaseCancels, cancel)
+		lc := &coordinator.LeaseClient{
+			Self:  i,
+			Table: w.tables[i],
+			Renew: func(_ context.Context, server int, applied []uint64) (coordinator.LeaseGrant, error) {
+				// A write-dead server's renewal never reaches the authority
+				// — exactly how a crashed process misses its heartbeats.
+				if w.gates[server].Load() != gateLive {
+					return coordinator.LeaseGrant{}, errServerDown
+				}
+				return w.auth.Renew(server, applied)
+			},
+			Applied:  w.repls[i].AppliedSeqs,
+			Interval: w.leaseTTL / 3,
+		}
+		w.leaseWG.Add(1)
+		go func() {
+			defer w.leaseWG.Done()
+			lc.Run(ctx)
+		}()
+	}
+	return w, nil
+}
+
+// liveServer picks the next round-robin server whose gate is live.
+func (w *failoverWorld) liveServer() int {
+	n := int(w.next.Add(1))
+	for k := 0; k < w.servers; k++ {
+		if i := (n + k) % w.servers; w.gates[i].Load() == gateLive {
+			return i
+		}
+	}
+	return 0
+}
+
+// Do executes one driver op on a live server, retrying writes that hit
+// the ownership fence until the promoted owner accepts them: an open-loop
+// client does not lose a write to a failover, it waits it out, and the
+// stall lands in the latency histogram where it belongs.
+func (w *failoverWorld) Do(ctx context.Context, op workload.Op) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		i := w.liveServer()
+		err := w.exec.apply(w.engines[i], w.routers[i], op)
+		if err == nil {
+			if op.Kind == workload.OpSetProfile || op.Kind == workload.OpRecordPurchase {
+				w.ackedWrites.Add(1)
+				w.ackedMu.Lock()
+				w.acked[op.UserID] = true
+				w.ackedMu.Unlock()
+				if recommend.OwnerOf(w.engines[0].ShardOf(op.UserID), w.servers) == w.victim {
+					w.noteRecovered()
+				}
+			}
+			return nil
+		}
+		if !isOwnerUnavailable(err) || time.Now().After(deadline) {
+			return err
+		}
+		w.blocked.Add(1)
+		select {
+		case <-ctx.Done():
+			return err
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// noteRecovered marks the unavailability window closed on the first write
+// accepted for a victim-owned shard after the kill — a driver write that
+// happened to land there, or the dedicated probe loop. Writes to shards the
+// survivors own are accepted throughout and say nothing about the window,
+// so Do only calls this for victim-shard writes.
+func (w *failoverWorld) noteRecovered() {
+	w.resMu.Lock()
+	if w.killed && w.recovW.IsZero() {
+		w.recovW = time.Now()
+	}
+	w.resMu.Unlock()
+}
+
+// userOnShard generates a deterministic user id living on shard, with a
+// prefix that cannot collide with workload-generated consumers.
+func (w *failoverWorld) userOnShard(prefix string, shard int) string {
+	for k := 0; ; k++ {
+		id := prefix + "-" + strconv.Itoa(shard) + "-" + strconv.Itoa(k)
+		if w.engines[0].ShardOf(id) == shard {
+			return id
+		}
+	}
+}
+
+// victimShard returns one shard the victim owns under the static map.
+func (w *failoverWorld) victimShard() int {
+	static := recommend.StaticOwnership(w.engines[0].Shards(), w.servers)
+	for s, owner := range static.Assign {
+		if owner == w.victim {
+			return s
+		}
+	}
+	return 0
+}
+
+// Kill executes the staged owner death: stop renewals and refuse writes,
+// drain the victim's already-acknowledged journal into the survivors (the
+// crashed process's durable tail outlives its write path), then take the
+// journal away too. A probe loop pinned to a victim-owned shard measures
+// the window until the promoted owner accepts writes again. Called once,
+// mid-run, by the scenario runner.
+func (w *failoverWorld) Kill(ctx context.Context) error {
+	w.resMu.Lock()
+	w.killed = true
+	w.killedW = time.Now()
+	w.resMu.Unlock()
+	w.leaseCancels[w.victim]()
+	w.gates[w.victim].Store(gateWriteDead)
+	// The write path is closed, so the victim's feed heads are final: one
+	// survivor pass drains every acknowledged record before the journal
+	// disappears. The authority cannot promote before this completes — the
+	// victim's lease has a full TTL left and promotion needs the lapse.
+	for i, r := range w.repls {
+		if i == w.victim {
+			continue
+		}
+		if err := r.Sync(ctx); err != nil {
+			return fmt.Errorf("draining victim journal into server %d: %w", i, err)
+		}
+	}
+	w.gates[w.victim].Store(gateDead)
+	w.repls[w.victim].Close()
+	// The probe bounds its own lifetime: Finish waits for it, and a run
+	// whose caller context never cancels must not hang on a window that
+	// never closes — it must report it.
+	pctx, cancel := context.WithTimeout(ctx, time.Minute)
+	w.probeWG.Add(1)
+	go func() {
+		defer cancel()
+		w.probe(pctx)
+	}()
+	return nil
+}
+
+// probe writes to one victim-owned shard every few milliseconds until a
+// write is accepted, bounding the write-unavailability window from above.
+func (w *failoverWorld) probe(ctx context.Context) {
+	defer w.probeWG.Done()
+	user := w.userOnShard("failover-probe", w.victimShard())
+	t := time.NewTicker(5 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		i := w.liveServer()
+		err := w.routers[i].SetProfile(profile.NewProfile(user))
+		if err == nil {
+			w.noteRecovered()
+			return
+		}
+		if isOwnerUnavailable(err) {
+			w.blocked.Add(1)
+			continue
+		}
+		w.resMu.Lock()
+		w.probeEr = err
+		w.resMu.Unlock()
+		return
+	}
+}
+
+// replayStaleWrites is the deposed owner waking up and replaying buffered
+// writes through its own (stale, lapsed) view of the world — one write per
+// shard, so both rejection paths fire: its lapsed lease refuses the shards
+// it thinks it still owns, and the survivors' fences refuse the stale
+// epoch on everything it forwards. Returns the rejected count and the
+// replays that were wrongly accepted.
+func (w *failoverWorld) replayStaleWrites() (rejected, accepted int) {
+	for s := 0; s < w.engines[0].Shards(); s++ {
+		user := w.userOnShard("failover-replay", s)
+		if err := w.routers[w.victim].SetProfile(profile.NewProfile(user)); err != nil {
+			rejected++
+		} else {
+			accepted++
+		}
+	}
+	return rejected, accepted
+}
+
+// shardFingerprint reduces one shard's full state to an order-insensitive
+// hash: profiles, purchase edges, and sell totals each hash independently
+// and XOR together, so two engines whose snapshots enumerate the same
+// state in different map orders still fingerprint identically.
+func shardFingerprint(snap *recommend.ShardSnapshot) uint64 {
+	var fp uint64
+	item := func(parts ...string) uint64 {
+		h := fnv.New64a()
+		for _, p := range parts {
+			h.Write([]byte(p))
+			h.Write([]byte{0})
+		}
+		return h.Sum64()
+	}
+	for _, data := range snap.Profiles {
+		fp ^= item("prof", string(data))
+	}
+	for _, pp := range snap.Purchases {
+		fp ^= item("purch", pp.UserID, pp.ProductID)
+	}
+	for pid, total := range snap.Sells {
+		fp ^= item("sell", pid, strconv.FormatInt(total, 10))
+	}
+	return fp
+}
+
+// Finish runs the post-drain verdicts: the replay fencing check, the
+// lost-acked-write audit against every survivor, and the cross-survivor
+// divergence fingerprint. Called after the final Drain, when the
+// survivors' replicas have converged.
+func (w *failoverWorld) Finish() (*FailoverResult, error) {
+	w.probeWG.Wait()
+	w.resMu.Lock()
+	killedW, recovW, probeEr := w.killedW, w.recovW, w.probeEr
+	w.resMu.Unlock()
+	if probeEr != nil {
+		return nil, fmt.Errorf("availability probe hit a non-fencing error: %w", probeEr)
+	}
+	if killedW.IsZero() {
+		return nil, fmt.Errorf("the victim was never killed (delay outside the run?)")
+	}
+	if recovW.IsZero() {
+		return nil, fmt.Errorf("writes to the victim's shards never recovered after the kill")
+	}
+
+	m := w.auth.Map()
+	res := &FailoverResult{
+		Victim:                w.victim,
+		LeaseTTLMs:            int(w.leaseTTL / time.Millisecond),
+		PromotedEpoch:         m.Epoch,
+		WriteUnavailabilityMs: float64(recovW.Sub(killedW)) / float64(time.Millisecond),
+		BlockedWrites:         w.blocked.Load(),
+		AckedWrites:           w.ackedWrites.Load(),
+	}
+	if m.Epoch < 2 {
+		return nil, fmt.Errorf("authority never promoted: map still at epoch %d", m.Epoch)
+	}
+	for s, owner := range m.Assign {
+		if owner != recommend.OwnerOf(s, w.servers) {
+			res.ShardsMoved++
+		}
+	}
+
+	// The deposed owner replays; every replay must bounce off a fence, and
+	// the bounced writes must not have dented the survivors (the divergence
+	// fingerprint below runs after this on purpose).
+	rejected, accepted := w.replayStaleWrites()
+	res.StaleWritesRejected = rejected
+	if accepted > 0 {
+		return nil, fmt.Errorf("%d stale replayed writes were accepted past the fence", accepted)
+	}
+
+	// Every acknowledged write must be present on every survivor.
+	w.ackedMu.Lock()
+	users := make([]string, 0, len(w.acked))
+	for u := range w.acked {
+		users = append(users, u)
+	}
+	w.ackedMu.Unlock()
+	sort.Strings(users)
+	for _, u := range users {
+		for i, e := range w.engines {
+			if i == w.victim {
+				continue
+			}
+			if _, err := e.Profile(u); err != nil {
+				res.LostAckedWrites++
+				break
+			}
+		}
+	}
+
+	// Survivor replicas must agree shard by shard.
+	shards := w.engines[0].Shards()
+	for s := 0; s < shards; s++ {
+		var want uint64
+		first := true
+		for i, e := range w.engines {
+			if i == w.victim {
+				continue
+			}
+			tr, err := e.JournalTail(s, 0, 0) // cursor epoch 0 never matches: forces a full snapshot
+			if err != nil {
+				return nil, fmt.Errorf("snapshotting shard %d on server %d: %w", s, i, err)
+			}
+			if tr.Snapshot == nil {
+				return nil, fmt.Errorf("shard %d on server %d returned no snapshot", s, i)
+			}
+			fp := shardFingerprint(tr.Snapshot)
+			if first {
+				want, first = fp, false
+			} else if fp != want {
+				res.DivergentShards++
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+func (w *failoverWorld) Seed(profiles []*profile.Profile, purchases map[string][]string) error {
+	if err := w.routers[0].SetProfiles(profiles); err != nil {
+		return err
+	}
+	users := make([]string, 0, len(purchases))
+	for user := range purchases {
+		users = append(users, user)
+	}
+	sort.Strings(users) // deterministic journal order across runs
+	for _, user := range users {
+		for _, pid := range purchases[user] {
+			if err := w.routers[0].RecordPurchase(user, pid); err != nil {
+				return err
+			}
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_, err := w.Drain(ctx)
+	return err
+}
+
+func (w *failoverWorld) Metrics() ops.Snapshot {
+	snap := ops.Snapshot{AtEpochMs: time.Now().UnixMilli()}
+	for i, e := range w.engines {
+		sv := ops.ServerSnapshot{Server: i, Engine: e.Stats().EventView()}
+		repl := w.repls[i].Stats().EventView()
+		sv.Replication = &repl
+		snap.Servers = append(snap.Servers, sv)
+	}
+	return snap
+}
+
+func (w *failoverWorld) Drain(ctx context.Context) (time.Duration, error) {
+	start := time.Now()
+	var first error
+	for i, r := range w.repls {
+		if w.gates[i].Load() != gateLive {
+			continue
+		}
+		if err := r.Sync(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	return time.Since(start), first
+}
+
+// ReadEngine returns a survivor: measurement must outlive the kill.
+func (w *failoverWorld) ReadEngine() *recommend.Engine { return w.engines[len(w.engines)-1] }
+
+func (w *failoverWorld) Close() error {
+	for _, cancel := range w.leaseCancels {
+		cancel()
+	}
+	w.leaseWG.Wait()
+	var first error
+	for _, r := range w.repls {
+		if err := r.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, e := range w.engines {
+		if err := e.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,131 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"agentrec/internal/kvstore"
+	"agentrec/internal/recommend"
+)
+
+// TestFailoverScenarioChaos is the kill-the-owner drill end to end: a
+// 3-server elastic world under mixed write load loses the owner of the
+// most shards mid-run. The coordinator must promote a caught-up follower,
+// every write acknowledged to the driver must survive, the deposed owner's
+// replayed writes must bounce off the epoch fence, and the survivors'
+// durable state — the WAL live view, compared byte for byte — must be
+// identical afterwards.
+func TestFailoverScenarioChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second chaos scenario")
+	}
+	s, ok := Lookup("failover")
+	if !ok {
+		t.Fatal("failover scenario missing from the library")
+	}
+	s = s.Smoke()
+	stateDir := t.TempDir()
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	res, err := RunScenario(ctx, s, RunOptions{Servers: 3, StateDir: stateDir, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Target != "failover" || res.Servers != 3 {
+		t.Fatalf("target %q over %d servers, want failover over 3", res.Target, res.Servers)
+	}
+	fo := res.Failover
+	if fo == nil {
+		t.Fatal("result carries no failover section")
+	}
+	if fo.PromotedEpoch < 2 {
+		t.Fatalf("promoted epoch %d: the authority never moved the map", fo.PromotedEpoch)
+	}
+	if fo.ShardsMoved == 0 {
+		t.Fatal("no shards moved off the dead owner")
+	}
+	if fo.WriteUnavailabilityMs <= 0 {
+		t.Fatalf("write unavailability %.2fms: the kill left no measurable window", fo.WriteUnavailabilityMs)
+	}
+	if fo.KilledAtS <= 0 || fo.KilledAtS >= s.DurationS {
+		t.Fatalf("kill at %.2fs, want inside the %gs run", fo.KilledAtS, s.DurationS)
+	}
+	if fo.AckedWrites == 0 {
+		t.Fatal("no writes were acknowledged — the drill measured nothing")
+	}
+	if fo.LostAckedWrites != 0 {
+		t.Fatalf("%d acknowledged writes lost across the promotion", fo.LostAckedWrites)
+	}
+	if res.Metrics == nil || fo.StaleWritesRejected != res.Metrics.ShardsPerEngine {
+		t.Fatalf("stale replays rejected = %d, want one per shard (%+v)", fo.StaleWritesRejected, res.Metrics)
+	}
+	if fo.DivergentShards != 0 {
+		t.Fatalf("%d shards diverged between the survivors", fo.DivergentShards)
+	}
+
+	// The survivors' durable community state must be byte-identical: the
+	// WAL's live view dumps buckets and keys in sorted order, so equal
+	// state means equal bytes. The victim (server 0) is excluded — its WAL
+	// legitimately froze at the kill.
+	snap1 := walLiveSnapshot(t, filepath.Join(stateDir, "server-1"))
+	snap2 := walLiveSnapshot(t, filepath.Join(stateDir, "server-2"))
+	if !bytes.Equal(snap1, snap2) {
+		t.Fatalf("survivor WAL live states differ: %d vs %d bytes", len(snap1), len(snap2))
+	}
+	if len(snap1) == 0 {
+		t.Fatal("survivor WAL live state is empty")
+	}
+}
+
+func walLiveSnapshot(t *testing.T, dir string) []byte {
+	t.Helper()
+	store, err := kvstore.Open(filepath.Join(dir, recommend.CommunityWAL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	var buf bytes.Buffer
+	if err := store.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestFailoverScenarioValidation(t *testing.T) {
+	base := Scenario{Name: "x", RateOpsS: 10, DurationS: 10,
+		MixRecommend: 0.5, MixSetProfile: 0.25, MixPurchase: 0.25, Failover: true}
+
+	if err := base.withDefaults().Validate(); err != nil {
+		t.Fatalf("defaulted failover scenario invalid: %v", err)
+	}
+	d := base.withDefaults()
+	if d.FailoverDelayS != 2.5 || d.FailoverLeaseMs != 1000 {
+		t.Fatalf("defaults = delay %g lease %d, want 2.5 / 1000", d.FailoverDelayS, d.FailoverLeaseMs)
+	}
+
+	late := base
+	late.FailoverDelayS = 10
+	if err := late.Validate(); err == nil {
+		t.Fatal("delay at duration end must be rejected")
+	}
+	both := base.withDefaults()
+	both.ColdFollower = true
+	if err := both.Validate(); err == nil {
+		t.Fatal("failover + cold_follower must be rejected")
+	}
+	readonly := base.withDefaults()
+	readonly.MixSetProfile, readonly.MixPurchase = 0, 0
+	if err := readonly.Validate(); err == nil {
+		t.Fatal("failover without a write mix must be rejected")
+	}
+	smoke := base.withDefaults().Smoke()
+	if smoke.FailoverDelayS > smoke.DurationS/4 {
+		t.Fatalf("smoke delay %g exceeds a quarter of %g", smoke.FailoverDelayS, smoke.DurationS)
+	}
+}

@@ -89,6 +89,7 @@ type ScenarioResult struct {
 	Metrics      *MetricsDelta       `json:"metrics,omitempty"`
 	ColdFollower *ColdFollowerResult `json:"cold_follower,omitempty"`
 	Shilling     *ShillResult        `json:"shilling,omitempty"`
+	Failover     *FailoverResult     `json:"failover,omitempty"`
 
 	ErrorSample []string `json:"error_sample,omitempty"`
 }
@@ -228,6 +229,7 @@ func RunScenario(ctx context.Context, s Scenario, opt RunOptions) (*ScenarioResu
 	var (
 		w       world
 		coldW   *coldWorld
+		foW     *failoverWorld
 		target  = "platform"
 		servers = opt.Servers
 	)
@@ -236,7 +238,7 @@ func RunScenario(ctx context.Context, s Scenario, opt RunOptions) (*ScenarioResu
 		if s.MixSetProfile > 0 || s.MixPurchase > 0 {
 			return nil, fmt.Errorf("loadgen: scenario %q mixes writes; the HTTP target is read-only", s.Name)
 		}
-		if s.ColdFollower || s.MaxResidentShards > 0 {
+		if s.ColdFollower || s.Failover || s.MaxResidentShards > 0 {
 			return nil, fmt.Errorf("loadgen: scenario %q needs an in-process world", s.Name)
 		}
 		w, err = newHTTPWorld(opt.HTTPAddrs)
@@ -244,6 +246,13 @@ func RunScenario(ctx context.Context, s Scenario, opt RunOptions) (*ScenarioResu
 	case s.ColdFollower:
 		coldW, err = newColdWorld(s, u, profiles, servers)
 		w, target = coldW, "cold-follower"
+	case s.Failover:
+		// A promotion needs a follower left over after the kill.
+		if servers < 3 {
+			servers = 3
+		}
+		foW, err = newFailoverWorld(s, u, profiles, servers, opt.StateDir)
+		w, target = foW, "failover"
 	default:
 		stateDir := opt.StateDir
 		if s.MaxResidentShards > 0 && stateDir == "" {
@@ -304,14 +313,43 @@ func RunScenario(ctx context.Context, s Scenario, opt RunOptions) (*ScenarioResu
 		}()
 	}
 
+	// The owner kill fires mid-run, concurrently with the load.
+	var (
+		foKilledAtS float64
+		foErr       error
+		foWG        sync.WaitGroup
+	)
+	loadStart := time.Now()
+	if foW != nil {
+		foWG.Add(1)
+		go func() {
+			defer foWG.Done()
+			t := time.NewTimer(secs(s.FailoverDelayS))
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				foErr = ctx.Err()
+				return
+			case <-t.C:
+			}
+			foKilledAtS = time.Since(loadStart).Seconds()
+			logf("scenario %s: killing owner server %d after %.1fs", s.Name, foW.victim, foKilledAtS)
+			foErr = foW.Kill(ctx)
+		}()
+	}
+
 	logf("scenario %s: driving %s load at %.0f ops/s for %.0fs", s.Name, s.Shape, s.RateOpsS, s.DurationS)
 	dr, err := Drive(ctx, s.driveConfig(opt.Workers), traffic.Op, w)
 	coldWG.Wait()
+	foWG.Wait()
 	if err != nil {
 		return nil, err
 	}
 	if coldErr != nil {
 		return nil, fmt.Errorf("loadgen: cold follower: %w", coldErr)
+	}
+	if foErr != nil {
+		return nil, fmt.Errorf("loadgen: failover kill: %w", foErr)
 	}
 
 	atEnd := w.Metrics() // replication backlog at load stop, pre-drain
@@ -362,6 +400,17 @@ func RunScenario(ctx context.Context, s Scenario, opt RunOptions) (*ScenarioResu
 		coldRes.UsersOnWarm = final.Servers[0].Engine.Users
 		coldRes.UsersOnCold = final.Servers[servers].Engine.Users
 	}
+	if foW != nil {
+		foRes, err := foW.Finish()
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: failover: %w", err)
+		}
+		foRes.KilledAtS = foKilledAtS
+		res.Failover = foRes
+		logf("scenario %s: failover epoch %d, window %.0fms, %d blocked, %d stale rejected, %d/%d acked writes lost, %d divergent shards",
+			s.Name, foRes.PromotedEpoch, foRes.WriteUnavailabilityMs, foRes.BlockedWrites,
+			foRes.StaleWritesRejected, foRes.LostAckedWrites, foRes.AckedWrites, foRes.DivergentShards)
+	}
 	if shillState != nil {
 		if exec := execOf(w); exec != nil {
 			res.Shilling = shillState.finish(w.ReadEngine(), exec.shills.Load())
@@ -378,6 +427,8 @@ func execOf(w world) *opExec {
 	case *platformWorld:
 		return t.exec
 	case *coldWorld:
+		return t.exec
+	case *failoverWorld:
 		return t.exec
 	default:
 		return nil

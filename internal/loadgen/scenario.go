@@ -52,6 +52,18 @@ type Scenario struct {
 	ColdFollowerDelayS    float64 `json:"cold_follower_delay_s,omitempty"`    // [10% of DurationS]
 	ColdFollowerPageBytes int     `json:"cold_follower_page_bytes,omitempty"` // [256 KiB]
 
+	// Failover turns the scenario into a kill-the-owner chaos drill: the
+	// world runs coordinator-mediated elastic ownership over >=3 servers,
+	// and after FailoverDelayS of load the static owner of the most shards
+	// stops renewing its lease and refusing writes (staged crash). The
+	// runner measures the write-unavailability window until the promoted
+	// follower accepts writes again, audits that no acknowledged write was
+	// lost, and verifies the deposed owner's replayed writes are fenced
+	// (see failover.go).
+	Failover        bool    `json:"failover,omitempty"`
+	FailoverDelayS  float64 `json:"failover_delay_s,omitempty"`  // [25% of DurationS]
+	FailoverLeaseMs int     `json:"failover_lease_ms,omitempty"` // coordinator lease TTL [1000]
+
 	// ShillFraction > 0 turns the scenario adversarial: that fraction of
 	// set_profile ops installs shill profiles promoting one hot product,
 	// and the runner measures the attack's rank-displacement impact on the
@@ -83,6 +95,18 @@ func (s Scenario) withDefaults() Scenario {
 		}
 		if s.ColdFollowerPageBytes <= 0 {
 			s.ColdFollowerPageBytes = 256 << 10
+		}
+	}
+	if s.Failover {
+		if s.FailoverDelayS <= 0 {
+			s.FailoverDelayS = s.DurationS / 4
+		}
+		if s.FailoverLeaseMs <= 0 {
+			// The TTL must dominate scheduler and GC jitter under full load
+			// (renewals come from ordinary goroutines), or the authority sees
+			// phantom deaths and the map flaps. 1s holds up even on a
+			// single-CPU runner; the renew cadence is TTL/3.
+			s.FailoverLeaseMs = 1000
 		}
 	}
 	if s.ShillFraction > 0 && s.ShillProbes <= 0 {
@@ -134,6 +158,21 @@ func (s Scenario) Validate() error {
 		return bad("cold_follower_delay_s %g must fall inside duration_s %g",
 			s.ColdFollowerDelayS, s.DurationS)
 	}
+	if s.Failover {
+		if s.ColdFollower {
+			return bad("failover and cold_follower are mutually exclusive chaos modes")
+		}
+		if s.MaxResidentShards > 0 {
+			return bad("the failover world does not support max_resident_shards")
+		}
+		if s.FailoverDelayS >= s.DurationS {
+			return bad("failover_delay_s %g must fall inside duration_s %g",
+				s.FailoverDelayS, s.DurationS)
+		}
+		if s.MixSetProfile+s.MixPurchase <= 0 {
+			return bad("failover measures write availability and needs a write share in the mix")
+		}
+	}
 	return nil
 }
 
@@ -149,6 +188,9 @@ func (s Scenario) Smoke() Scenario {
 	}
 	if s.ColdFollower {
 		s.ColdFollowerDelayS = min(s.ColdFollowerDelayS, s.DurationS/4)
+	}
+	if s.Failover {
+		s.FailoverDelayS = min(s.FailoverDelayS, s.DurationS/4)
 	}
 	if s.ShillProbes > 0 {
 		s.ShillProbes = min(s.ShillProbes, 25)
@@ -194,6 +236,14 @@ var Library = []Scenario{
 		RateOpsS: 120, DurationS: 30,
 		MixRecommend: 0.40, MixSetProfile: 0.25, MixPurchase: 0.35,
 		ColdFollower: true, ColdFollowerDelayS: 5,
+	},
+	{
+		Name:        "failover",
+		Description: "kill-the-owner chaos drill: mid-run the busiest owner stops renewing its coordinator lease and refuses writes; the most caught-up follower is promoted, blocked writes retry through the transition, and the run measures the write-unavailability window, fenced stale-epoch replays, and post-promotion divergence (must be zero)",
+		Users:       8000, Products: 1000, Categories: 16, Seed: 1,
+		RateOpsS: 120, DurationS: 30,
+		MixRecommend: 0.40, MixSetProfile: 0.30, MixPurchase: 0.30,
+		Failover: true, FailoverDelayS: 10, FailoverLeaseMs: 1000,
 	},
 	{
 		Name:        "shilling",

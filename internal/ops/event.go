@@ -36,6 +36,10 @@ const (
 	KindLag Kind = "lag"
 	// KindCompaction reports a completed journal compaction pass.
 	KindCompaction Kind = "compaction"
+	// KindOwnership reports a shard ownership map transition: the
+	// coordinator promoted a follower after an owner's lease lapsed, or
+	// rebalanced assignments when a server joined or left.
+	KindOwnership Kind = "ownership"
 	// KindDropped is the synthetic marker a slow subscriber sees in
 	// place of events its ring buffer lost; it is never published, only
 	// synthesized per subscription.
@@ -45,13 +49,13 @@ const (
 // AllKinds returns every publishable kind plus the synthetic dropped
 // marker, the vocabulary wire endpoints validate ?kinds= against.
 func AllKinds() []Kind {
-	return []Kind{KindSnapshot, KindRecDelta, KindJournal, KindLag, KindCompaction, KindDropped}
+	return []Kind{KindSnapshot, KindRecDelta, KindJournal, KindLag, KindCompaction, KindOwnership, KindDropped}
 }
 
 // ValidKind reports whether k is a known event kind.
 func ValidKind(k Kind) bool {
 	switch k {
-	case KindSnapshot, KindRecDelta, KindJournal, KindLag, KindCompaction, KindDropped:
+	case KindSnapshot, KindRecDelta, KindJournal, KindLag, KindCompaction, KindOwnership, KindDropped:
 		return true
 	}
 	return false
@@ -73,6 +77,7 @@ type Event struct {
 	Lag        LagEvent        `json:"lag,omitzero"`
 	Compaction CompactionEvent `json:"compaction,omitzero"`
 	RecDelta   RecDelta        `json:"rec_delta,omitzero"`
+	Ownership  OwnershipEvent  `json:"ownership,omitzero"`
 	Dropped    Drop            `json:"dropped,omitzero"`
 	Snapshot   *Snapshot       `json:"snapshot,omitempty"`
 }
@@ -107,6 +112,37 @@ type CompactionEvent struct {
 	JournalBytes   int64   `json:"journal_bytes"` // journal size after the rewrite
 	LiveBytes      int64   `json:"live_bytes"`
 	ReclaimedBytes int64   `json:"reclaimed_bytes"` // how much the rewrite shrank the journal
+}
+
+// Ownership transition reasons.
+const (
+	// OwnershipJoin: a server (re)joined and caught-up shards rebalanced
+	// onto it.
+	OwnershipJoin = "join"
+	// OwnershipLeave: a server deregistered cleanly and its shards were
+	// promoted away.
+	OwnershipLeave = "leave"
+	// OwnershipFailover: an owner's lease lapsed and a caught-up follower
+	// was promoted for each of its shards.
+	OwnershipFailover = "failover"
+)
+
+// OwnershipEvent is one shard ownership map transition: the epoch advanced
+// and the listed shards changed owner. Server is the observer publishing
+// the event (-1 when the coordinator authority publishes directly).
+type OwnershipEvent struct {
+	Server    int         `json:"server"`
+	Epoch     uint64      `json:"epoch"`
+	PrevEpoch uint64      `json:"prev_epoch"`
+	Reason    string      `json:"reason"` // join | leave | failover
+	Moved     []ShardMove `json:"moved,omitempty"`
+}
+
+// ShardMove is one shard's ownership change within a map transition.
+type ShardMove struct {
+	Shard int `json:"shard"`
+	From  int `json:"from"`
+	To    int `json:"to"`
 }
 
 // RecDelta reports that a consumer's served top-N changed: the engine

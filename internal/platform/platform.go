@@ -25,6 +25,7 @@ import (
 	"io"
 	"path/filepath"
 	"sort"
+	"sync"
 	"time"
 
 	"agentrec/internal/aglet"
@@ -77,6 +78,19 @@ type Config struct {
 	// ReplicationPull is the background tail interval [100ms].
 	ReplicationPull time.Duration
 
+	// ElasticOwnership (only with ReplicateEngines) puts shard ownership
+	// under the coordinator's lease authority instead of the static
+	// shard%N map: every server renews an ownership lease each
+	// OwnershipLease, routing and fencing follow the leased
+	// recommend.OwnershipMap, a server whose lease lapses has its shards
+	// promoted to the most caught-up follower, and every map transition is
+	// published as an `ownership` event (with Events). Without it the
+	// static map is used and nothing changes. [false]
+	ElasticOwnership bool
+	// OwnershipLease is the lease renew cadence; the authority's TTL is
+	// three times it. [1s]
+	OwnershipLease time.Duration
+
 	// NeighborSearch selects how every engine's CF neighbour search
 	// enumerates candidates: recommend.SearchExact (default) scans the
 	// exact per-category posting lists; recommend.SearchLSH shortlists
@@ -115,8 +129,15 @@ type Platform struct {
 	// events.go for the embedder API (Metrics, Subscribe, RunHeartbeat).
 	Events *ops.Bus
 
-	writer        recommend.Writer   // seeding write surface (router 0 when replicating)
-	writers       []recommend.Writer // per-server community write surface
+	// Ownership is the coordinator's lease authority (nil without
+	// Config.ElasticOwnership).
+	Ownership *coordinator.Authority
+
+	writer        recommend.Writer            // seeding write surface (router 0 when replicating)
+	writers       []recommend.Writer          // per-server community write surface
+	tables        []*recommend.OwnershipTable // per-server leased maps (elastic only)
+	leaseCancel   context.CancelFunc          // stops the lease-client goroutines
+	leaseDone     sync.WaitGroup
 	hosts         []*aglet.Host
 	stopHeartbeat chan struct{}
 	heartbeatDone chan struct{}
@@ -132,6 +153,9 @@ func New(cfg Config) (*Platform, error) {
 	}
 	if cfg.BuyerServers < 0 {
 		return nil, ErrNoBuyerServers
+	}
+	if cfg.ElasticOwnership && !cfg.ReplicateEngines {
+		return nil, errors.New("platform: ElasticOwnership requires ReplicateEngines")
 	}
 
 	p := &Platform{
@@ -226,6 +250,35 @@ func New(cfg Config) (*Platform, error) {
 		for i, e := range p.Engines {
 			peers[i] = recommend.LocalPeer{Engine: e}
 		}
+		if cfg.ElasticOwnership {
+			// Every server starts from the same static epoch-1 map the
+			// authority does, so routing is consistent before the first
+			// lease lands; the lease clients below keep the tables moving.
+			shards := p.Engines[0].Shards()
+			var publish func(ops.Event)
+			if p.Events != nil {
+				publish = func(ev ops.Event) { p.Events.Publish(ev) }
+			}
+			lease := cfg.OwnershipLease
+			if lease <= 0 {
+				lease = time.Second
+			}
+			auth, err := coordinator.NewOwnershipAuthority(coordinator.OwnershipConfig{
+				Shards:   shards,
+				Servers:  cfg.BuyerServers,
+				LeaseTTL: 3 * lease,
+				Publish:  publish,
+			})
+			if err != nil {
+				return nil, err
+			}
+			coord.AttachOwnership(auth)
+			p.Ownership = auth
+			for i := 0; i < cfg.BuyerServers; i++ {
+				p.tables = append(p.tables,
+					recommend.NewOwnershipTable(recommend.StaticOwnership(shards, cfg.BuyerServers)))
+			}
+		}
 		pull := cfg.ReplicationPull
 		if pull <= 0 {
 			pull = 100 * time.Millisecond
@@ -235,12 +288,41 @@ func New(cfg Config) (*Platform, error) {
 			if p.Events != nil {
 				ropts = append(ropts, recommend.WithReplicationEvents(p.Events, i))
 			}
+			if p.tables != nil {
+				ropts = append(ropts, recommend.PullWithOwnership(p.tables[i]))
+			}
 			r, err := recommend.NewReplicator(e, i, peers, ropts...)
 			if err != nil {
 				return nil, err
 			}
 			r.Start()
 			p.Replicators = append(p.Replicators, r)
+		}
+		if p.Ownership != nil {
+			// One lease client per server: renew directly against the
+			// in-process authority with the replicator's catch-up evidence.
+			lease := cfg.OwnershipLease
+			if lease <= 0 {
+				lease = time.Second
+			}
+			lctx, cancel := context.WithCancel(context.Background())
+			p.leaseCancel = cancel
+			for i := 0; i < cfg.BuyerServers; i++ {
+				client := &coordinator.LeaseClient{
+					Self:  i,
+					Table: p.tables[i],
+					Renew: func(_ context.Context, server int, applied []uint64) (coordinator.LeaseGrant, error) {
+						return p.Ownership.Renew(server, applied)
+					},
+					Applied:  p.Replicators[i].AppliedSeqs,
+					Interval: lease,
+				}
+				p.leaseDone.Add(1)
+				go func() {
+					defer p.leaseDone.Done()
+					client.Run(lctx)
+				}()
+			}
 		}
 	} else {
 		engine, err := recommend.Open(p.Union, append(baseOpts(0, "engine"), cfg.EngineOpts...)...)
@@ -271,9 +353,20 @@ func New(cfg Config) (*Platform, error) {
 			engine = p.Engines[i]
 			writers := make([]recommend.Writer, cfg.BuyerServers)
 			for j, e := range p.Engines {
-				writers[j] = e
+				if p.tables != nil && j != i {
+					// Elastic: remote writes go through the receiver's
+					// fence, stamped with this server's epoch — the
+					// in-process analogue of replnet's fenced frames.
+					writers[j] = recommend.OwnedWriter{Local: e, Self: j, Table: p.tables[j], Sender: p.tables[i]}
+				} else {
+					writers[j] = e
+				}
 			}
-			router, err := recommend.NewRouter(engine, i, writers)
+			var ropts []recommend.RouterOption
+			if p.tables != nil {
+				ropts = append(ropts, recommend.RouteWithOwnership(p.tables[i]))
+			}
+			router, err := recommend.NewRouter(engine, i, writers, ropts...)
 			if err != nil {
 				return nil, err
 			}
@@ -351,6 +444,15 @@ func (p *Platform) Writer(i int) recommend.Writer {
 		return nil
 	}
 	return p.writers[i]
+}
+
+// OwnershipTable returns buyer server i's leased ownership table, or nil
+// outside ElasticOwnership deployments.
+func (p *Platform) OwnershipTable(i int) *recommend.OwnershipTable {
+	if i < 0 || i >= len(p.tables) {
+		return nil
+	}
+	return p.tables[i]
 }
 
 // Stock adds a product to marketplace index i and the integrated catalog.
@@ -447,6 +549,10 @@ func (p *Platform) SeedCommunity(profiles []*profile.Profile, purchases map[stri
 // marketplaces, the coordinator, and the engines' persistence journals.
 func (p *Platform) Close() error {
 	p.closeEventPlane()
+	if p.leaseCancel != nil {
+		p.leaseCancel()
+		p.leaseDone.Wait()
+	}
 	var first error
 	for _, r := range p.Replicators {
 		if err := r.Close(); err != nil && first == nil {

@@ -1,0 +1,294 @@
+package recommend
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"agentrec/internal/ops"
+	"agentrec/internal/profile"
+)
+
+// This file is the ownership model the replication layer routes by. For
+// most of the repo's history ownership was the pure function OwnerOf
+// (shard % N over a fixed server list): correct, but rigid — a dead owner
+// stalls writes to its shards forever, and the server set cannot change
+// without restarting the world. OwnershipMap makes the assignment a
+// versioned value instead: an epoch plus an explicit shard→server vector.
+// The coordinator's ownership authority (internal/coordinator) mutates the
+// map — promoting a caught-up follower when an owner's lease lapses,
+// rebalancing on join/leave with a rendezvous choice that moves only the
+// shards that must move — and leases it to every server, which holds its
+// copy in an OwnershipTable.
+//
+// The epoch is the fencing token. Every routed write and replication pull
+// is stamped with the sender's map epoch, and the receiver's table admits
+// it only if the epochs match AND the receiver owns the shard (Fence). A
+// deposed owner therefore fails loudly on both sides of every exchange:
+// its outgoing frames carry a stale epoch, its incoming frames arrive at a
+// server whose epoch has moved on, and its own local writes are refused
+// once its lease has expired (Expired) — the classic lease discipline that
+// keeps a SIGSTOP'd owner from silently acking writes after waking up.
+//
+// StaticOwnership(shards, servers) at epoch 1 is exactly the historical
+// shard%N map, so deployments without a coordinator keep today's behaviour
+// bit for bit: every server derives the same epoch-1 map from its config,
+// all stamps agree forever, and the fence never fires.
+
+// Errors reported by the ownership fence.
+var (
+	// ErrStaleEpoch rejects a frame whose ownership epoch differs from
+	// the receiver's — one side of the exchange has an outdated map.
+	ErrStaleEpoch = errors.New("recommend: ownership epoch mismatch")
+	// ErrNotOwner rejects a write or tail for a shard the receiving
+	// server does not own under its current map.
+	ErrNotOwner = errors.New("recommend: shard not owned by this server")
+	// ErrLeaseExpired refuses local writes on a server whose ownership
+	// lease has lapsed: until it renews, it must assume it was deposed.
+	ErrLeaseExpired = errors.New("recommend: ownership lease expired")
+)
+
+// OwnershipMap is one versioned shard→server assignment: Assign[shard] is
+// the owning server's index, Epoch increases by one on every transition.
+// The zero map (Epoch 0) means "no map"; real maps start at epoch 1.
+type OwnershipMap struct {
+	Epoch  uint64 `json:"epoch"`
+	Assign []int  `json:"assign"`
+}
+
+// StaticOwnership is the degenerate no-coordinator map: shard s owned by
+// server s%N at epoch 1 — identical to the historical OwnerOf function, so
+// static deployments derive the same map from config alone.
+func StaticOwnership(shards, servers int) OwnershipMap {
+	m := OwnershipMap{Epoch: 1, Assign: make([]int, shards)}
+	for s := range m.Assign {
+		m.Assign[s] = OwnerOf(s, servers)
+	}
+	return m
+}
+
+// Owner reports the shard's owning server, or -1 when the map does not
+// cover the shard.
+func (m OwnershipMap) Owner(shard int) int {
+	if shard < 0 || shard >= len(m.Assign) {
+		return -1
+	}
+	return m.Assign[shard]
+}
+
+// Clone returns a deep copy, safe to mutate.
+func (m OwnershipMap) Clone() OwnershipMap {
+	return OwnershipMap{Epoch: m.Epoch, Assign: append([]int(nil), m.Assign...)}
+}
+
+// Hash is a stable fingerprint of the assignment (epoch included), for the
+// startup consistency check platformd runs across peers.
+func (m OwnershipMap) Hash() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "epoch=%d;shards=%d;", m.Epoch, len(m.Assign))
+	for _, owner := range m.Assign {
+		fmt.Fprintf(h, "%d,", owner)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// DiffOwnership lists the shards whose owner changed from prev to next, in
+// shard order — the `moved` payload of an ownership event.
+func DiffOwnership(prev, next OwnershipMap) []ops.ShardMove {
+	var moves []ops.ShardMove
+	for s := range next.Assign {
+		from := prev.Owner(s)
+		if to := next.Assign[s]; to != from {
+			moves = append(moves, ops.ShardMove{Shard: s, From: from, To: to})
+		}
+	}
+	return moves
+}
+
+// RendezvousOwner picks shard's owner among the live server indices by
+// highest-random-weight (rendezvous) hashing: each (shard, server) pair
+// hashes to a weight and the highest weight wins. Removing a server moves
+// only that server's shards; adding one steals only the shards it now wins
+// — the minimal-movement property modulo arithmetic lacks.
+func RendezvousOwner(shard int, live []int) int {
+	best, bestW := -1, uint64(0)
+	for _, srv := range live {
+		w := rendezvousWeight(shard, srv)
+		if best < 0 || w > bestW || (w == bestW && srv < best) {
+			best, bestW = srv, w
+		}
+	}
+	return best
+}
+
+// rendezvousWeight is a splitmix64 finalizer over the (shard, server)
+// pair: cheap, stateless, and uniform enough for placement.
+func rendezvousWeight(shard, server int) uint64 {
+	z := uint64(shard)<<32 ^ uint64(uint32(server)) ^ 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// OwnershipTable is one server's live copy of the ownership map: routers
+// read it per write, the replicator re-reads it per pull, and the lease
+// client advances it whenever the coordinator's grant carries a newer
+// epoch. A table without lease tracking (static deployments) never
+// expires; a leased table refuses local ownership once its expiry passes
+// until the next successful renewal.
+type OwnershipTable struct {
+	mu         sync.RWMutex
+	m          OwnershipMap
+	leased     bool
+	validUntil time.Time
+}
+
+// NewOwnershipTable returns a table holding m.
+func NewOwnershipTable(m OwnershipMap) *OwnershipTable {
+	return &OwnershipTable{m: m.Clone()}
+}
+
+// Current returns a copy of the held map.
+func (t *OwnershipTable) Current() OwnershipMap {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m.Clone()
+}
+
+// Epoch returns the held map's epoch.
+func (t *OwnershipTable) Epoch() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m.Epoch
+}
+
+// Owner reports shard's owner under the held map (-1 when uncovered).
+func (t *OwnershipTable) Owner(shard int) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m.Owner(shard)
+}
+
+// Advance adopts m if it is strictly newer than the held map, reporting
+// whether the table changed. Stale or same-epoch maps are ignored, so
+// out-of-order grant deliveries cannot roll the table back.
+func (t *OwnershipTable) Advance(m OwnershipMap) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if m.Epoch <= t.m.Epoch {
+		return false
+	}
+	t.m = m.Clone()
+	return true
+}
+
+// Lease records a renewed ownership lease valid until the given time and
+// marks the table lease-managed: from now on, local ownership claims fail
+// with ErrLeaseExpired once validUntil passes without another renewal.
+func (t *OwnershipTable) Lease(validUntil time.Time) {
+	t.mu.Lock()
+	t.leased = true
+	t.validUntil = validUntil
+	t.mu.Unlock()
+}
+
+// Expired reports the lease discipline violation, if any: nil for static
+// (never-leased) tables and live leases, ErrLeaseExpired once a leased
+// table's expiry has passed. A server whose lease lapsed must treat its
+// own ownership as suspect — the coordinator may already have promoted a
+// follower — so routers check this before acking local writes.
+func (t *OwnershipTable) Expired() error {
+	t.mu.RLock()
+	leased, until := t.leased, t.validUntil
+	t.mu.RUnlock()
+	if leased && time.Now().After(until) {
+		return fmt.Errorf("%w (was valid until %s): renew against the coordinator before serving writes",
+			ErrLeaseExpired, until.Format(time.RFC3339Nano))
+	}
+	return nil
+}
+
+// Fence admits a frame stamped with senderEpoch for shard, arriving at
+// server self. It enforces the ownership invariant every epoch-fenced
+// surface shares: the sender and receiver must hold the same map epoch,
+// the receiver must own the shard under that map, and the receiver's own
+// lease must be live. Any violation is an error wrapping ErrStaleEpoch,
+// ErrNotOwner, or ErrLeaseExpired — a deposed owner's replayed frames and
+// a stale receiver both fail loudly instead of split-braining replicas.
+func (t *OwnershipTable) Fence(senderEpoch uint64, shard, self int) error {
+	if err := t.Expired(); err != nil {
+		return err
+	}
+	t.mu.RLock()
+	epoch, owner := t.m.Epoch, t.m.Owner(shard)
+	t.mu.RUnlock()
+	if senderEpoch != epoch {
+		side := "sender"
+		if senderEpoch > epoch {
+			side = "receiver"
+		}
+		return fmt.Errorf("%w: frame at epoch %d, server %d at epoch %d (%s is stale)",
+			ErrStaleEpoch, senderEpoch, self, epoch, side)
+	}
+	if owner != self {
+		return fmt.Errorf("%w: shard %d owned by server %d at epoch %d, not server %d",
+			ErrNotOwner, shard, owner, epoch, self)
+	}
+	return nil
+}
+
+// OwnedWriter is the in-process analogue of a forwarded write frame: each
+// write is stamped with the sender's current map epoch and admitted
+// through the receiver's fence before touching the engine, exactly as
+// replnet's Writer/Handler pair does over TCP. Routers in replicated
+// in-process deployments use it as the write surface of every remote
+// server, so a deposed sender's routed writes fail loudly there too.
+type OwnedWriter struct {
+	Local  *Engine         // receiving server's engine
+	Self   int             // receiving server's index
+	Table  *OwnershipTable // receiving server's table (fences)
+	Sender *OwnershipTable // sending server's table (stamps the epoch)
+}
+
+func (w OwnedWriter) fence(userID string) error {
+	return w.Table.Fence(w.Sender.Epoch(), w.Local.ShardOf(userID), w.Self)
+}
+
+// SetProfile implements Writer.
+func (w OwnedWriter) SetProfile(p *profile.Profile) error {
+	if err := w.fence(p.UserID); err != nil {
+		return err
+	}
+	return w.Local.SetProfile(p)
+}
+
+// SetProfiles implements Writer: the whole batch is fenced before any
+// profile is installed, so a stale epoch cannot half-apply a batch.
+func (w OwnedWriter) SetProfiles(ps []*profile.Profile) error {
+	for _, p := range ps {
+		if err := w.fence(p.UserID); err != nil {
+			return err
+		}
+	}
+	return w.Local.SetProfiles(ps)
+}
+
+// RecordPurchase implements Writer.
+func (w OwnedWriter) RecordPurchase(userID, productID string) error {
+	if err := w.fence(userID); err != nil {
+		return err
+	}
+	return w.Local.RecordPurchase(userID, productID)
+}
+
+// RecordPurchaseAt implements Writer.
+func (w OwnedWriter) RecordPurchaseAt(userID, productID string, at time.Time) error {
+	if err := w.fence(userID); err != nil {
+		return err
+	}
+	return w.Local.RecordPurchaseAt(userID, productID, at)
+}
+
+var _ Writer = OwnedWriter{}

@@ -271,6 +271,21 @@ func (e *Engine) JournalTail(shard int, epoch, since uint64) (TailResult, error)
 	return TailResult{Shards: e.nshards, Epoch: e.feed.epoch, Seq: seq, Head: seq, Snapshot: snap}, nil
 }
 
+// FeedHeads reports each shard's journal feed head (the seq of the last
+// record emitted; 0 when the shard has none), or nil when the engine was
+// built without WithJournalFeed. An owner's head is the target a follower
+// of the shard must reach to be fully caught up.
+func (e *Engine) FeedHeads() []uint64 {
+	if e.feed == nil {
+		return nil
+	}
+	out := make([]uint64, e.nshards)
+	for s := range out {
+		out[s] = e.feed.next(s) - 1
+	}
+	return out
+}
+
 // shardStateLocked returns sh's live state: the in-memory maps for a
 // resident shard, the Persister's recovered state for a spilled one — a
 // spilled shard accepts no writes while the lock is held, so its durable
@@ -444,9 +459,13 @@ func (e *Engine) applyShardSnapshot(shard int, snap *ShardSnapshot) error {
 
 // --- ownership and write routing ---
 
-// OwnerOf reports which of servers owns shard: the server every write for
-// the shard is routed to, and the one followers tail it from. Every server
-// must agree on the shard count for the map to be consistent.
+// OwnerOf reports which of servers owns shard under the static (epoch-1)
+// assignment: the server every write for the shard is routed to, and the
+// one followers tail it from. Every server must agree on the shard count
+// for the map to be consistent. Deployments with a coordinator route by an
+// OwnershipTable instead (see ownership.go); StaticOwnership freezes this
+// function into the table's epoch-1 map, so both paths agree until the
+// coordinator moves a shard.
 func OwnerOf(shard, servers int) int {
 	if servers <= 0 {
 		return 0
@@ -472,16 +491,36 @@ var (
 
 // Router routes community writes to the shard owner's engine while reads
 // stay on the local engine. writers[i] is the write surface of server i
-// (the local engine for self, a remote forwarder for peers).
+// (the local engine for self, a remote forwarder for peers). Ownership
+// comes from the router's OwnershipTable, re-read per write so a map the
+// coordinator advances re-targets routing immediately; without
+// RouteWithOwnership the table holds the static epoch-1 map and routing is
+// the historical shard%N.
 type Router struct {
 	local   *Engine
 	self    int
 	writers []Writer
+	owners  *OwnershipTable
+}
+
+// RouterOption configures a Router.
+type RouterOption func(*Router)
+
+// RouteWithOwnership makes the router resolve shard owners through t (a
+// live, coordinator-leased table) instead of the static map. Local writes
+// additionally require t's lease to be live: a deposed server refuses its
+// own shards instead of acking writes nobody replicates.
+func RouteWithOwnership(t *OwnershipTable) RouterOption {
+	return func(r *Router) {
+		if t != nil {
+			r.owners = t
+		}
+	}
 }
 
 // NewRouter returns a write router for server self among len(writers)
 // servers. writers[self] may be nil; the local engine is used.
-func NewRouter(local *Engine, self int, writers []Writer) (*Router, error) {
+func NewRouter(local *Engine, self int, writers []Writer, opts ...RouterOption) (*Router, error) {
 	if self < 0 || self >= len(writers) {
 		return nil, fmt.Errorf("recommend: router self %d out of %d servers", self, len(writers))
 	}
@@ -493,16 +532,39 @@ func NewRouter(local *Engine, self int, writers []Writer) (*Router, error) {
 			return nil, fmt.Errorf("recommend: router writer %d is nil", i)
 		}
 	}
-	return &Router{local: local, self: self, writers: ws}, nil
+	r := &Router{local: local, self: self, writers: ws}
+	for _, opt := range opts {
+		opt(r)
+	}
+	if r.owners == nil {
+		r.owners = NewOwnershipTable(StaticOwnership(local.nshards, len(ws)))
+	}
+	return r, nil
 }
 
-func (r *Router) writerFor(userID string) Writer {
-	return r.writers[OwnerOf(r.local.ShardOf(userID), len(r.writers))]
+// writerFor resolves userID's current owner to a write surface, enforcing
+// the lease discipline on the local branch.
+func (r *Router) writerFor(userID string) (Writer, error) {
+	owner := r.owners.Owner(r.local.ShardOf(userID))
+	if owner < 0 || owner >= len(r.writers) {
+		return nil, fmt.Errorf("%w: no server owns user %s (owner %d of %d)",
+			ErrNotOwner, userID, owner, len(r.writers))
+	}
+	if owner == r.self {
+		if err := r.owners.Expired(); err != nil {
+			return nil, err
+		}
+	}
+	return r.writers[owner], nil
 }
 
 // SetProfile installs the profile on the owning server.
 func (r *Router) SetProfile(p *profile.Profile) error {
-	return r.writerFor(p.UserID).SetProfile(p)
+	w, err := r.writerFor(p.UserID)
+	if err != nil {
+		return err
+	}
+	return w.SetProfile(p)
 }
 
 // SetProfiles bulk-installs profiles, grouped per owning server with
@@ -510,12 +572,21 @@ func (r *Router) SetProfile(p *profile.Profile) error {
 func (r *Router) SetProfiles(ps []*profile.Profile) error {
 	byServer := make([][]*profile.Profile, len(r.writers))
 	for _, p := range ps {
-		i := OwnerOf(r.local.ShardOf(p.UserID), len(r.writers))
-		byServer[i] = append(byServer[i], p)
+		owner := r.owners.Owner(r.local.ShardOf(p.UserID))
+		if owner < 0 || owner >= len(r.writers) {
+			return fmt.Errorf("%w: no server owns user %s (owner %d of %d)",
+				ErrNotOwner, p.UserID, owner, len(r.writers))
+		}
+		byServer[owner] = append(byServer[owner], p)
 	}
 	for i, group := range byServer {
 		if len(group) == 0 {
 			continue
+		}
+		if i == r.self {
+			if err := r.owners.Expired(); err != nil {
+				return err
+			}
 		}
 		if err := r.writers[i].SetProfiles(group); err != nil {
 			return err
@@ -526,12 +597,20 @@ func (r *Router) SetProfiles(ps []*profile.Profile) error {
 
 // RecordPurchase records the purchase on the owning server.
 func (r *Router) RecordPurchase(userID, productID string) error {
-	return r.writerFor(userID).RecordPurchase(userID, productID)
+	w, err := r.writerFor(userID)
+	if err != nil {
+		return err
+	}
+	return w.RecordPurchase(userID, productID)
 }
 
 // RecordPurchaseAt records the timestamped purchase on the owning server.
 func (r *Router) RecordPurchaseAt(userID, productID string, at time.Time) error {
-	return r.writerFor(userID).RecordPurchaseAt(userID, productID, at)
+	w, err := r.writerFor(userID)
+	if err != nil {
+		return err
+	}
+	return w.RecordPurchaseAt(userID, productID, at)
 }
 
 // --- the replicator ---
@@ -570,6 +649,20 @@ func WithPullInterval(d time.Duration) ReplicatorOption {
 	return func(r *Replicator) {
 		if d > 0 {
 			r.interval = d
+		}
+	}
+}
+
+// PullWithOwnership makes the replicator resolve shard owners through t (a
+// live, coordinator-leased table) instead of the static map. Each Sync
+// pass re-reads the table, so a map transition re-targets pulls on the
+// next pass: a newly followed shard starts a fresh cursor (the new owner's
+// feed epoch differs, forcing snapshot catch-up — the existing
+// cursor-reset path), and a newly owned shard stops being pulled.
+func PullWithOwnership(t *OwnershipTable) ReplicatorOption {
+	return func(r *Replicator) {
+		if t != nil {
+			r.owners = t
 		}
 	}
 }
@@ -628,6 +721,7 @@ type Replicator struct {
 	self     int
 	peers    []Peer
 	interval time.Duration
+	owners   *OwnershipTable
 
 	// Event plane (nil unless WithReplicationEvents; see events.go).
 	events      *ops.Bus
@@ -667,9 +761,13 @@ func NewReplicator(e *Engine, self int, peers []Peer, opts ...ReplicatorOption) 
 	for _, opt := range opts {
 		opt(r)
 	}
+	if r.owners == nil {
+		r.owners = NewOwnershipTable(StaticOwnership(e.nshards, len(peers)))
+	}
+	initial := r.owners.Current()
 	for s := 0; s < e.nshards; s++ {
-		if owner := OwnerOf(s, len(peers)); owner != self {
-			if peers[owner] == nil {
+		if owner := initial.Owner(s); owner != self {
+			if owner < 0 || owner >= len(peers) || peers[owner] == nil {
 				return nil, fmt.Errorf("recommend: replicator has no peer for server %d (owner of shard %d)", owner, s)
 			}
 			r.stats[s] = &ShardReplication{Shard: s, Owner: owner}
@@ -687,8 +785,42 @@ func (r *Replicator) Sync(ctx context.Context) error {
 	defer r.syncMu.Unlock()
 	var firstErr error
 	for s := 0; s < r.e.nshards; s++ {
-		owner := OwnerOf(s, len(r.peers))
+		owner := r.owners.Owner(s)
 		if owner == r.self {
+			// Promoted (or always owned): this server's feed is now the
+			// shard's history — drop the follower bookkeeping so Stats
+			// reports only shards actually followed.
+			r.mu.Lock()
+			if _, followed := r.stats[s]; followed {
+				delete(r.stats, s)
+				delete(r.lastLag, s)
+				delete(r.xfers, s)
+				r.curs[s] = replCursor{}
+			}
+			r.mu.Unlock()
+			continue
+		}
+		// Ensure follower bookkeeping exists and tracks the current owner.
+		// A changed owner keeps the old cursor: its feed epoch belongs to
+		// the previous owner, so the first pull from the new owner falls
+		// back to snapshot catch-up — the same path a feed restart takes.
+		r.mu.Lock()
+		st := r.stats[s]
+		if st == nil {
+			st = &ShardReplication{Shard: s, Owner: owner}
+			r.stats[s] = st
+		} else if st.Owner != owner {
+			st.Owner = owner
+		}
+		r.mu.Unlock()
+		if owner < 0 || owner >= len(r.peers) || r.peers[owner] == nil {
+			err := fmt.Errorf("recommend: no peer for server %d (owner of shard %d)", owner, s)
+			r.mu.Lock()
+			st.LastError = err.Error()
+			r.mu.Unlock()
+			if firstErr == nil {
+				firstErr = err
+			}
 			continue
 		}
 		if err := r.pullShard(ctx, s, owner); err != nil && firstErr == nil {
@@ -696,6 +828,27 @@ func (r *Replicator) Sync(ctx context.Context) error {
 		}
 	}
 	return firstErr
+}
+
+// AppliedSeqs reports, per shard, how far this server's replica has
+// advanced in the owning feed's numbering: the follower cursor's applied
+// sequence for followed shards, the engine's own feed head for owned ones.
+// This is the catch-up evidence servers attach to coordinator lease
+// renewals — followers of the same owner report in the same numbering, so
+// the authority can promote the most caught-up one exactly.
+func (r *Replicator) AppliedSeqs() []uint64 {
+	heads := r.e.FeedHeads()
+	out := make([]uint64, r.e.nshards)
+	r.mu.Lock()
+	for s := 0; s < r.e.nshards; s++ {
+		if st, ok := r.stats[s]; ok {
+			out[s] = st.AppliedSeq
+		} else if heads != nil {
+			out[s] = heads[s]
+		}
+	}
+	r.mu.Unlock()
+	return out
 }
 
 // pullShard tails shard from owner once and applies what came back.

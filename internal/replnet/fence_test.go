@@ -1,0 +1,146 @@
+package replnet
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"agentrec/internal/catalog"
+	"agentrec/internal/profile"
+	"agentrec/internal/recommend"
+)
+
+// A deposed owner replaying buffered frames at its old epoch must be
+// rejected by every frame kind: forwarded writes (set-profiles, purchase),
+// journal tails, and snapshot pages. The handler is called directly — over
+// TCP errors flatten to strings, so errors.Is only works in-process, which
+// is exactly where the fence decision is made.
+
+func fenceEngine(t *testing.T) *recommend.Engine {
+	t.Helper()
+	cat := catalog.New()
+	if err := cat.Add(&catalog.Product{ID: "p1", Name: "P1", Category: "laptop",
+		Terms: map[string]float64{"ssd": 1}, PriceCents: 100, SellerID: "s", Stock: 1}); err != nil {
+		t.Fatal(err)
+	}
+	e, err := recommend.Open(cat, recommend.WithJournalFeed(0), recommend.WithShards(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+func TestHandlerFencesStaleEpochFrames(t *testing.T) {
+	e := fenceEngine(t)
+	table := recommend.NewOwnershipTable(recommend.StaticOwnership(8, 1)) // server 0 owns all
+	h := Handler(e, 0, 1, WithOwnership(table))
+
+	prof, err := profile.NewProfile("user-1").Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	frames := map[string][]byte{
+		kindTail:        mustJSON(t, tailRequest{Shard: 0, OwnerEpoch: 1}),
+		kindSnapPage:    mustJSON(t, snapPageRequest{Shard: 0, OwnerEpoch: 1}),
+		kindSetProfiles: mustJSON(t, setProfilesRequest{Profiles: [][]byte{prof}, OwnerEpoch: 1}),
+		kindPurchase:    mustJSON(t, purchaseRequest{UserID: "user-1", ProductID: "p1", At: &now, OwnerEpoch: 1}),
+	}
+
+	// At matching epoch every kind passes the fence (the tail may still
+	// fail for replication reasons, but never with a fencing error).
+	for kind, data := range frames {
+		if _, err := h(kind, data); err != nil {
+			if errors.Is(err, recommend.ErrStaleEpoch) || errors.Is(err, recommend.ErrNotOwner) || errors.Is(err, recommend.ErrLeaseExpired) {
+				t.Fatalf("%s at current epoch hit the fence: %v", kind, err)
+			}
+		}
+	}
+
+	// The receiver's world moves on to epoch 2; the sender's stamp is stale.
+	next := table.Current()
+	next.Epoch = 2
+	if !table.Advance(next) {
+		t.Fatal("advance to epoch 2 failed")
+	}
+	for kind, data := range frames {
+		if _, err := h(kind, data); !errors.Is(err, recommend.ErrStaleEpoch) {
+			t.Fatalf("%s stamped with old epoch: err = %v, want ErrStaleEpoch", kind, err)
+		}
+	}
+
+	// Unstamped frames (epoch 0 — a peer not built WithOwnership) are
+	// equally stale to a fencing handler.
+	if _, err := h(kindTail, mustJSON(t, tailRequest{Shard: 0})); !errors.Is(err, recommend.ErrStaleEpoch) {
+		t.Fatalf("unstamped tail: err = %v, want ErrStaleEpoch", err)
+	}
+}
+
+func TestHandlerFencesUnownedShardAndLapsedLease(t *testing.T) {
+	e := fenceEngine(t)
+	// Two servers: this handler is server 0, owning only even shards.
+	table := recommend.NewOwnershipTable(recommend.StaticOwnership(8, 2))
+	h := Handler(e, 0, 2, WithOwnership(table))
+
+	if _, err := h(kindTail, mustJSON(t, tailRequest{Shard: 1, OwnerEpoch: 1})); !errors.Is(err, recommend.ErrNotOwner) {
+		t.Fatalf("tail for unowned shard: err = %v, want ErrNotOwner", err)
+	}
+
+	// A leased table whose lease lapsed refuses everything — the SIGSTOP'd
+	// owner waking up must not serve as if it still owned its shards.
+	table.Lease(time.Now().Add(-time.Millisecond))
+	if _, err := h(kindTail, mustJSON(t, tailRequest{Shard: 0, OwnerEpoch: 1})); !errors.Is(err, recommend.ErrLeaseExpired) {
+		t.Fatalf("tail under lapsed lease: err = %v, want ErrLeaseExpired", err)
+	}
+	if _, err := h(kindSnapPage, mustJSON(t, snapPageRequest{Shard: 0, OwnerEpoch: 1})); !errors.Is(err, recommend.ErrLeaseExpired) {
+		t.Fatalf("snap-page under lapsed lease: err = %v, want ErrLeaseExpired", err)
+	}
+}
+
+func TestOwnerMapProbeUnfenced(t *testing.T) {
+	e := fenceEngine(t)
+	table := recommend.NewOwnershipTable(recommend.StaticOwnership(8, 2))
+	next := table.Current()
+	next.Epoch = 5
+	table.Advance(next)
+	table.Lease(time.Now().Add(-time.Minute)) // even a lapsed server answers
+
+	h := Handler(e, 1, 2, WithOwnership(table))
+	out, err := h(kindOwnerMap, []byte("{}"))
+	if err != nil {
+		t.Fatalf("owner-map probe must be unfenced: %v", err)
+	}
+	var info OwnerMapInfo
+	if err := json.Unmarshal(out, &info); err != nil {
+		t.Fatal(err)
+	}
+	want := table.Current()
+	if info.Hash != want.Hash() || info.Epoch != 5 || info.Shards != 8 || info.Servers != 2 || info.Self != 1 {
+		t.Fatalf("probe reply = %+v, want hash %s epoch 5 shards 8 servers 2 self 1", info, want.Hash())
+	}
+
+	// Without a table the probe reports the static epoch-1 map.
+	h0 := Handler(e, 0, 2)
+	out, err = h0(kindOwnerMap, []byte("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(out, &info); err != nil {
+		t.Fatal(err)
+	}
+	static := recommend.StaticOwnership(8, 2)
+	if info.Hash != static.Hash() || info.Epoch != 1 {
+		t.Fatalf("static probe reply = %+v, want hash %s epoch 1", info, static.Hash())
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

@@ -35,7 +35,32 @@ const (
 	kindSnapPage    = "snap-page"
 	kindSetProfiles = "set-profiles"
 	kindPurchase    = "purchase"
+	kindOwnerMap    = "owner-map"
 )
+
+// wireCfg is the shared option state of Handler, Peer, and Writer.
+type wireCfg struct {
+	owners *recommend.OwnershipTable
+}
+
+// Option configures the ownership behaviour of Handler, Peer, and Writer.
+type Option func(*wireCfg)
+
+// WithOwnership epoch-fences the wire against t, this server's ownership
+// table. A Handler built with it admits a frame only through t.Fence —
+// matching epoch, shard owned by this server, live lease — for every frame
+// kind (forwarded writes, journal tails, snapshot pages), so a deposed
+// owner replaying buffered frames at its old epoch is rejected loudly. A
+// Peer or Writer built with it stamps every outgoing request with t's
+// current epoch. Both sides of a deployment must agree on using it: an
+// unstamped frame (epoch 0) never passes a fencing handler.
+func WithOwnership(t *recommend.OwnershipTable) Option {
+	return func(c *wireCfg) {
+		if t != nil {
+			c.owners = t
+		}
+	}
+}
 
 // maxTailBytes bounds a tail reply's raw encoded size. The reply travels
 // as atp response.Data, which json.Marshal base64-encodes (4/3 expansion),
@@ -74,27 +99,50 @@ func pageBudget() int {
 // larger batches are split into several frames, in order.
 const maxForwardBytes = 4 << 20
 
+// Every request carries OwnerEpoch, the sender's ownership map epoch, when
+// the sending side was built WithOwnership; fencing handlers reject frames
+// whose stamp does not match their own table (0 = unstamped, never passes
+// a fencing handler). Note the distinction from the tail/page Epoch field,
+// which is the owner's journal-feed epoch (a replication cursor concern).
+
 type tailRequest struct {
-	Shard int    `json:"shard"`
-	Epoch uint64 `json:"epoch"`
-	Since uint64 `json:"since"`
+	Shard      int    `json:"shard"`
+	Epoch      uint64 `json:"epoch"`
+	Since      uint64 `json:"since"`
+	OwnerEpoch uint64 `json:"owner_epoch,omitempty"`
 }
 
 type snapPageRequest struct {
-	Shard int    `json:"shard"`
-	Epoch uint64 `json:"epoch"`
-	Seq   uint64 `json:"seq"`
-	Token string `json:"token,omitempty"`
+	Shard      int    `json:"shard"`
+	Epoch      uint64 `json:"epoch"`
+	Seq        uint64 `json:"seq"`
+	Token      string `json:"token,omitempty"`
+	OwnerEpoch uint64 `json:"owner_epoch,omitempty"`
 }
 
 type setProfilesRequest struct {
-	Profiles [][]byte `json:"profiles"`
+	Profiles   [][]byte `json:"profiles"`
+	OwnerEpoch uint64   `json:"owner_epoch,omitempty"`
 }
 
 type purchaseRequest struct {
-	UserID    string     `json:"user"`
-	ProductID string     `json:"product"`
-	At        *time.Time `json:"at,omitempty"` // nil: untimestamped RecordPurchase
+	UserID     string     `json:"user"`
+	ProductID  string     `json:"product"`
+	At         *time.Time `json:"at,omitempty"` // nil: untimestamped RecordPurchase
+	OwnerEpoch uint64     `json:"owner_epoch,omitempty"`
+}
+
+// OwnerMapInfo is the owner-map frame's reply: the receiving server's view
+// of the ownership map, fingerprinted. platformd's startup consistency
+// check compares every peer's info against its own before serving, so
+// -buyer-peers lists that disagree on order or -engine-shards values that
+// differ fail loudly at startup instead of diverging replicas at runtime.
+type OwnerMapInfo struct {
+	Hash    string `json:"hash"`
+	Epoch   uint64 `json:"epoch"`
+	Shards  int    `json:"shards"`
+	Servers int    `json:"servers"`
+	Self    int    `json:"self"`
 }
 
 // Handler returns the journal surface for e, ready for
@@ -104,8 +152,29 @@ type purchaseRequest struct {
 // that disagree on order (each side computing a different ownership map)
 // fail on the first routed write instead of silently diverging replicas.
 // Pass servers <= 0 to skip the ownership check (single-surface setups).
-func Handler(e *recommend.Engine, self, servers int) atp.JournalHandler {
-	checkOwned := func(userID string) error {
+//
+// Built WithOwnership, the handler instead epoch-fences every frame kind
+// through the table: forwarded writes, journal tails, and snapshot pages
+// are all admitted only when the sender's stamped epoch matches, this
+// server owns the shard, and this server's lease is live.
+func Handler(e *recommend.Engine, self, servers int, opts ...Option) atp.JournalHandler {
+	var cfg wireCfg
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	// fence admits one frame for one shard; checkOwned is its per-consumer
+	// form for forwarded writes. Without a table only the legacy static
+	// write check applies, and tails are unfenced (epoch 0 everywhere).
+	fence := func(senderEpoch uint64, shard int) error {
+		if cfg.owners == nil {
+			return nil
+		}
+		return cfg.owners.Fence(senderEpoch, shard, self)
+	}
+	checkOwned := func(senderEpoch uint64, userID string) error {
+		if cfg.owners != nil {
+			return cfg.owners.Fence(senderEpoch, e.ShardOf(userID), self)
+		}
 		if servers <= 0 {
 			return nil
 		}
@@ -122,6 +191,9 @@ func Handler(e *recommend.Engine, self, servers int) atp.JournalHandler {
 			if err := json.Unmarshal(data, &req); err != nil {
 				return nil, fmt.Errorf("replnet: decoding tail request: %w", err)
 			}
+			if err := fence(req.OwnerEpoch, req.Shard); err != nil {
+				return nil, err
+			}
 			tr, err := e.JournalTail(req.Shard, req.Epoch, req.Since)
 			if err != nil {
 				return nil, err
@@ -131,6 +203,9 @@ func Handler(e *recommend.Engine, self, servers int) atp.JournalHandler {
 			var req snapPageRequest
 			if err := json.Unmarshal(data, &req); err != nil {
 				return nil, fmt.Errorf("replnet: decoding snapshot page request: %w", err)
+			}
+			if err := fence(req.OwnerEpoch, req.Shard); err != nil {
+				return nil, err
 			}
 			pg, err := e.SnapshotPage(req.Shard, req.Epoch, req.Seq, req.Token, pageBudget())
 			if err != nil {
@@ -152,7 +227,7 @@ func Handler(e *recommend.Engine, self, servers int) atp.JournalHandler {
 				if err != nil {
 					return nil, fmt.Errorf("replnet: decoding forwarded profile: %w", err)
 				}
-				if err := checkOwned(p.UserID); err != nil {
+				if err := checkOwned(req.OwnerEpoch, p.UserID); err != nil {
 					return nil, err
 				}
 				profs[i] = p
@@ -163,13 +238,26 @@ func Handler(e *recommend.Engine, self, servers int) atp.JournalHandler {
 			if err := json.Unmarshal(data, &req); err != nil {
 				return nil, fmt.Errorf("replnet: decoding purchase write: %w", err)
 			}
-			if err := checkOwned(req.UserID); err != nil {
+			if err := checkOwned(req.OwnerEpoch, req.UserID); err != nil {
 				return nil, err
 			}
 			if req.At != nil {
 				return nil, e.RecordPurchaseAt(req.UserID, req.ProductID, *req.At)
 			}
 			return nil, e.RecordPurchase(req.UserID, req.ProductID)
+		case kindOwnerMap:
+			// The consistency probe is deliberately unfenced: it is how
+			// peers discover they disagree in the first place.
+			m := recommend.StaticOwnership(e.Shards(), servers)
+			if cfg.owners != nil {
+				m = cfg.owners.Current()
+			}
+			info := OwnerMapInfo{Hash: m.Hash(), Epoch: m.Epoch, Shards: e.Shards(), Servers: servers, Self: self}
+			out, err := json.Marshal(info)
+			if err != nil {
+				return nil, fmt.Errorf("replnet: encoding owner map info: %w", err)
+			}
+			return out, nil
 		default:
 			return nil, fmt.Errorf("replnet: unknown journal kind %q", kind)
 		}
@@ -214,16 +302,31 @@ func marshalTailBounded(shard int, tr recommend.TailResult) ([]byte, error) {
 type Peer struct {
 	client *atp.Client
 	dest   string
+	cfg    wireCfg
 }
 
 // NewPeer returns a Peer tailing the ATP server at dest through client.
-func NewPeer(client *atp.Client, dest string) *Peer {
-	return &Peer{client: client, dest: dest}
+// Built WithOwnership, it stamps every request with the table's current
+// map epoch for the receiving handler's fence.
+func NewPeer(client *atp.Client, dest string, opts ...Option) *Peer {
+	p := &Peer{client: client, dest: dest}
+	for _, opt := range opts {
+		opt(&p.cfg)
+	}
+	return p
+}
+
+// stamp is the sender's current ownership epoch (0 without a table).
+func (c wireCfg) stamp() uint64 {
+	if c.owners == nil {
+		return 0
+	}
+	return c.owners.Epoch()
 }
 
 // JournalTail implements recommend.Peer.
 func (p *Peer) JournalTail(ctx context.Context, shard int, epoch, since uint64) (recommend.TailResult, error) {
-	req, err := json.Marshal(tailRequest{Shard: shard, Epoch: epoch, Since: since})
+	req, err := json.Marshal(tailRequest{Shard: shard, Epoch: epoch, Since: since, OwnerEpoch: p.cfg.stamp()})
 	if err != nil {
 		return recommend.TailResult{}, fmt.Errorf("replnet: encoding tail request: %w", err)
 	}
@@ -241,7 +344,7 @@ func (p *Peer) JournalTail(ctx context.Context, shard int, epoch, since uint64) 
 // SnapshotPage implements recommend.Peer: one bounded page of a paged
 // shard-snapshot transfer (served when a tail reply came back Paged).
 func (p *Peer) SnapshotPage(ctx context.Context, shard int, epoch, seq uint64, token string) (recommend.SnapshotPage, error) {
-	req, err := json.Marshal(snapPageRequest{Shard: shard, Epoch: epoch, Seq: seq, Token: token})
+	req, err := json.Marshal(snapPageRequest{Shard: shard, Epoch: epoch, Seq: seq, Token: token, OwnerEpoch: p.cfg.stamp()})
 	if err != nil {
 		return recommend.SnapshotPage{}, fmt.Errorf("replnet: encoding snapshot page request: %w", err)
 	}
@@ -256,6 +359,20 @@ func (p *Peer) SnapshotPage(ctx context.Context, shard int, epoch, seq uint64, t
 	return pg, nil
 }
 
+// OwnerMap fetches the remote server's ownership map fingerprint — the
+// probe behind platformd's startup map-consistency check.
+func (p *Peer) OwnerMap(ctx context.Context) (OwnerMapInfo, error) {
+	out, err := p.client.Journal(ctx, p.dest, kindOwnerMap, []byte("{}"))
+	if err != nil {
+		return OwnerMapInfo{}, err
+	}
+	var info OwnerMapInfo
+	if err := json.Unmarshal(out, &info); err != nil {
+		return OwnerMapInfo{}, fmt.Errorf("replnet: decoding owner map info from %s: %w", p.dest, err)
+	}
+	return info, nil
+}
+
 var _ recommend.Peer = (*Peer)(nil)
 
 // Writer forwards community writes to the shard owner's server over atp.
@@ -266,17 +383,24 @@ type Writer struct {
 	client  *atp.Client
 	dest    string
 	timeout time.Duration
+	cfg     wireCfg
 }
 
 // NewWriter returns a Writer forwarding to the ATP server at dest. base is
 // the forwarding server's lifecycle context: cancelling it (shutdown)
 // aborts in-flight forwards immediately instead of letting them ride out
 // the full send timeout. nil means context.Background (no lifecycle).
-func NewWriter(base context.Context, client *atp.Client, dest string) *Writer {
+// Built WithOwnership, every forwarded frame is stamped with the table's
+// current map epoch for the receiving handler's fence.
+func NewWriter(base context.Context, client *atp.Client, dest string, opts ...Option) *Writer {
 	if base == nil {
 		base = context.Background()
 	}
-	return &Writer{base: base, client: client, dest: dest, timeout: 30 * time.Second}
+	w := &Writer{base: base, client: client, dest: dest, timeout: 30 * time.Second}
+	for _, opt := range opts {
+		opt(&w.cfg)
+	}
+	return w
 }
 
 func (w *Writer) send(kind string, v any) error {
@@ -304,7 +428,7 @@ func (w *Writer) SetProfiles(ps []*profile.Profile) error {
 		if len(encoded) == 0 {
 			return nil
 		}
-		err := w.send(kindSetProfiles, setProfilesRequest{Profiles: encoded})
+		err := w.send(kindSetProfiles, setProfilesRequest{Profiles: encoded, OwnerEpoch: w.cfg.stamp()})
 		encoded, size = nil, 0
 		return err
 	}
@@ -326,12 +450,12 @@ func (w *Writer) SetProfiles(ps []*profile.Profile) error {
 
 // RecordPurchase implements recommend.Writer.
 func (w *Writer) RecordPurchase(userID, productID string) error {
-	return w.send(kindPurchase, purchaseRequest{UserID: userID, ProductID: productID})
+	return w.send(kindPurchase, purchaseRequest{UserID: userID, ProductID: productID, OwnerEpoch: w.cfg.stamp()})
 }
 
 // RecordPurchaseAt implements recommend.Writer.
 func (w *Writer) RecordPurchaseAt(userID, productID string, at time.Time) error {
-	return w.send(kindPurchase, purchaseRequest{UserID: userID, ProductID: productID, At: &at})
+	return w.send(kindPurchase, purchaseRequest{UserID: userID, ProductID: productID, At: &at, OwnerEpoch: w.cfg.stamp()})
 }
 
 var _ recommend.Writer = (*Writer)(nil)
