@@ -14,6 +14,7 @@ import (
 	"strings"
 	"testing"
 
+	"agentrec/internal/analysis"
 	"agentrec/internal/loadgen"
 	"agentrec/internal/ops"
 	"agentrec/internal/recommend"
@@ -282,5 +283,28 @@ func TestReadmePromisedSectionsExist(t *testing.T) {
 		if !strings.Contains(design, want) {
 			t.Errorf("DESIGN.md does not contain %q", want)
 		}
+	}
+}
+
+// TestDocsAnalyzersInDesign checks that DESIGN.md's "Static analysis"
+// section names every analyzer cmd/agentlint ships (and documents the
+// suppression grammar), so the lint suite cannot grow or rename silently.
+func TestDocsAnalyzersInDesign(t *testing.T) {
+	design := readDoc(t, "DESIGN.md")
+	idx := strings.Index(design, "## Static analysis")
+	if idx < 0 {
+		t.Fatal(`DESIGN.md has no "## Static analysis" section`)
+	}
+	section := design[idx:]
+	if next := strings.Index(section[3:], "\n## "); next >= 0 {
+		section = section[:next+3]
+	}
+	for _, a := range analysis.All() {
+		if !strings.Contains(section, "`"+a.Name+"`") {
+			t.Errorf("DESIGN.md Static analysis section does not document analyzer `%s`", a.Name)
+		}
+	}
+	if !strings.Contains(section, "agentlint:allow") {
+		t.Error("DESIGN.md Static analysis section does not document the agentlint:allow suppression grammar")
 	}
 }

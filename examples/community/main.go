@@ -144,7 +144,9 @@ func seed(p *agentrec.Platform, u *workload.Universe) error {
 		if err != nil {
 			return err
 		}
-		inner.Engine.SetProfile(prof)
+		if err := inner.Engine.SetProfile(prof); err != nil {
+			return err
+		}
 	}
 	// Timestamps spread over the past week so the §5.2 trending window and
 	// tied-sale baskets see the seeded history too.
@@ -153,7 +155,9 @@ func seed(p *agentrec.Platform, u *workload.Universe) error {
 	for user, pids := range u.Purchases() {
 		for _, pid := range pids {
 			age := time.Duration(i%(7*24)) * time.Hour
-			inner.Engine.RecordPurchaseAt(user, pid, now.Add(-age))
+			if err := inner.Engine.RecordPurchaseAt(user, pid, now.Add(-age)); err != nil {
+				return err
+			}
 			i++
 		}
 	}

@@ -1,0 +1,292 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Buspublish encodes the event plane's two "costs nothing" contracts
+// (DESIGN.md "Event plane", ops.Bus godoc):
+//
+//  1. Publish never blocks. Inside internal/ops, every function reachable
+//     from Bus.Publish (the fan-out path: offer, ring bookkeeping) must
+//     stay bounded: no blocking channel operation (sends must sit in a
+//     select with a default arm), no time.Sleep, no Wait, no I/O, and no
+//     lock other than the Bus's and Subscription's own bounded mutexes. An
+//     engine write holding a shard lock publishes on this path; one
+//     blocking call here stalls every writer in the process.
+//
+//  2. Hooks are nil-safe. In the producer packages (recommend, platform,
+//     buyerserver), every call to Publish on a *ops.Bus struct field must
+//     be nil-guarded in the same function — the event plane is opt-in and
+//     must cost exactly one nil check when disabled.
+//
+// The runtime complements are TestBusSlowSubscriberNeverBlocksAndDropsExactly
+// and TestEventBusPublishZeroAlloc; the analyzer catches the blocking call
+// a soak test only hits under the right interleaving.
+var Buspublish = &Analyzer{
+	Name: "buspublish",
+	Doc: "nothing reachable from ops.Bus.Publish may block, and every event-hook call site is nil-checked\n\n" +
+		"In internal/ops: flags blocking channel ops, sleeps, waits, I/O, and foreign lock acquisitions reachable " +
+		"from Publish. In the producer packages: flags Publish calls on *ops.Bus fields with no nil guard in the " +
+		"same function.",
+	Run: runBuspublish,
+}
+
+// busProducerPkgs are the packages whose event hooks must be nil-safe.
+var busProducerPkgs = map[string]bool{
+	recommendPath:                   true,
+	platformPath:                    true,
+	"agentrec/internal/buyerserver": true,
+	"agentrec/internal/loadgen":     true,
+}
+
+func runBuspublish(pass *Pass) error {
+	if pass.Pkg.Path() == opsPath {
+		checkPublishNeverBlocks(pass)
+	}
+	if busProducerPkgs[pass.Pkg.Path()] {
+		checkHooksNilSafe(pass)
+	}
+	return nil
+}
+
+// --- part 1: the never-blocks closure inside internal/ops ---
+
+func checkPublishNeverBlocks(pass *Pass) {
+	// Build the intra-package call graph over declared functions, then walk
+	// everything reachable from (*Bus).Publish.
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	var roots []types.Object
+	for obj := range decls {
+		if f, ok := obj.(*types.Func); ok && isMethodOn(f, opsPath, "Bus", "Publish") {
+			roots = append(roots, obj)
+		}
+	}
+	reachable := make(map[types.Object]bool)
+	var visit func(obj types.Object)
+	visit = func(obj types.Object) {
+		if reachable[obj] {
+			return
+		}
+		reachable[obj] = true
+		fd := decls[obj]
+		if fd == nil {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if f := calleeFunc(pass.TypesInfo, call); f != nil {
+				if _, local := decls[f]; local {
+					visit(f)
+				}
+			}
+			return true
+		})
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+
+	for obj := range reachable {
+		fd := decls[obj]
+		if fd == nil {
+			continue
+		}
+		checkBoundedBody(pass, fd)
+	}
+}
+
+// checkBoundedBody flags the blocking constructs inside one function on
+// the Publish path.
+func checkBoundedBody(pass *Pass, fd *ast.FuncDecl) {
+	// Select statements with a default arm are the sanctioned non-blocking
+	// notify pattern; remember their channel ops so the send check below
+	// skips them.
+	nonBlocking := make(map[ast.Node]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, c := range sel.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			pass.Reportf(sel.Pos(),
+				"select without a default arm on the Bus.Publish path (%s): Publish must never park — add a default arm or move this off the publish path",
+				fd.Name.Name)
+			return true
+		}
+		for _, c := range sel.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+				nonBlocking[cc.Comm] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if !nonBlocking[ast.Node(n)] {
+				pass.Reportf(n.Pos(),
+					"blocking channel send on the Bus.Publish path (%s): a full channel parks every publisher — use select with a default arm",
+					fd.Name.Name)
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" && !receiveIsNonBlocking(pass, n, nonBlocking) {
+				pass.Reportf(n.Pos(),
+					"blocking channel receive on the Bus.Publish path (%s): Publish must never park on a consumer",
+					fd.Name.Name)
+			}
+		case *ast.CallExpr:
+			checkBoundedCall(pass, fd, n)
+		}
+		return true
+	})
+}
+
+// receiveIsNonBlocking reports whether a <-ch expression sits in a
+// select-with-default comm clause (directly or as the RHS of its assign).
+func receiveIsNonBlocking(pass *Pass, recv *ast.UnaryExpr, nonBlocking map[ast.Node]bool) bool {
+	for comm := range nonBlocking {
+		switch c := comm.(type) {
+		case *ast.ExprStmt:
+			if ast.Unparen(c.X) == recv {
+				return true
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range c.Rhs {
+				if ast.Unparen(rhs) == recv {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// boundedLockOwners are the ops types whose own mutexes Publish may take:
+// both guard strictly bounded critical sections (ring copies).
+var boundedLockOwners = map[string]bool{"Bus": true, "Subscription": true}
+
+func checkBoundedCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	f := calleeFunc(pass.TypesInfo, call)
+	if f == nil || f.Pkg() == nil {
+		return
+	}
+	switch {
+	case f.Pkg().Path() == "time" && f.Name() == "Sleep":
+		pass.Reportf(call.Pos(), "time.Sleep on the Bus.Publish path (%s): Publish must never park", fd.Name.Name)
+	case f.Name() == "Wait" && recvNamed(f) != nil && pkgPathIs(recvNamed(f).Obj().Pkg(), "sync"):
+		pass.Reportf(call.Pos(), "sync %s.Wait on the Bus.Publish path (%s): unbounded park", recvNamed(f).Obj().Name(), fd.Name.Name)
+	case isIOPackage(f.Pkg().Path()):
+		pass.Reportf(call.Pos(),
+			"I/O call %s.%s on the Bus.Publish path (%s): publishing happens under engine write critical sections — I/O belongs in consumers",
+			f.Pkg().Name(), f.Name(), fd.Name.Name)
+	case f.Name() == "Lock" || f.Name() == "RLock":
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if owner, _ := mutexOwner(pass, sel.X); owner != "" {
+				if selOwner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+					if base := baseTypeName(pass.TypesInfo.Types[selOwner.X].Type); boundedLockOwners[base] {
+						return
+					}
+				}
+				pass.Reportf(call.Pos(),
+					"foreign lock %s acquired on the Bus.Publish path (%s): only the Bus's and Subscription's own bounded mutexes are allowed",
+					owner, fd.Name.Name)
+			}
+		}
+	}
+}
+
+// isIOPackage reports packages whose calls can block on the outside world.
+func isIOPackage(path string) bool {
+	switch path {
+	case "os", "net", "net/http", "io", "io/fs", "bufio", "log", "fmt":
+		return true
+	}
+	return false
+}
+
+// --- part 2: nil-safe hooks in the producer packages ---
+
+func checkHooksNilSafe(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			// Gather the nil-compared expressions in this function.
+			guarded := make(map[string]bool)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				bin, ok := n.(*ast.BinaryExpr)
+				if !ok || (bin.Op.String() != "==" && bin.Op.String() != "!=") {
+					return true
+				}
+				for lhs, rhs := range map[ast.Expr]ast.Expr{bin.X: bin.Y, bin.Y: bin.X} {
+					if id, ok := ast.Unparen(rhs).(*ast.Ident); ok && id.Name == "nil" {
+						guarded[exprString(ast.Unparen(lhs))] = true
+					}
+				}
+				return true
+			})
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Publish" {
+					return true
+				}
+				recv := ast.Unparen(sel.X)
+				if !isBusField(pass, recv) {
+					return true
+				}
+				if !guarded[exprString(recv)] {
+					pass.Reportf(call.Pos(),
+						"event hook %s.Publish called without a nil check on %s in %s: the event plane is opt-in and must cost one nil test when off — guard the field or publish through a nil-checking helper",
+						exprString(recv), exprString(recv), fd.Name.Name)
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// isBusField reports whether e is a struct-field selector of type *ops.Bus
+// (a hook wired by an Option — exactly the thing that may be nil).
+func isBusField(pass *Pass, e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if s, ok := pass.TypesInfo.Selections[sel]; !ok || s.Kind() != types.FieldVal {
+		return false
+	}
+	t := pass.TypesInfo.Types[sel].Type
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Bus" && pkgPathIs(named.Obj().Pkg(), opsPath)
+}

@@ -1,0 +1,59 @@
+// Fixture: a shadow of ops.Bus whose Publish path mixes the sanctioned
+// non-blocking pattern with every blocking construct the analyzer bans.
+package ops
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+type Event struct{}
+
+type other struct{ mu sync.Mutex }
+
+type Bus struct {
+	mu   sync.Mutex
+	ch   chan Event
+	done chan struct{}
+	wg   sync.WaitGroup
+	o    *other
+}
+
+// Publish takes only the Bus's own bounded mutex and fans out through
+// offer (compliant) and slowPath (every violation shape).
+func (b *Bus) Publish(ev Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.offer(ev)
+	b.slowPath(ev)
+}
+
+// offer is the sanctioned pattern: select with a default arm.
+func (b *Bus) offer(ev Event) {
+	select {
+	case b.ch <- ev:
+	default:
+	}
+}
+
+// slowPath is reachable from Publish: everything here is a violation.
+func (b *Bus) slowPath(ev Event) {
+	b.ch <- ev                      // want `blocking channel send on the Bus.Publish path`
+	<-b.done                        // want `blocking channel receive on the Bus.Publish path`
+	time.Sleep(time.Millisecond)    // want `time.Sleep on the Bus.Publish path`
+	b.wg.Wait()                     // want `sync WaitGroup.Wait on the Bus.Publish path`
+	fmt.Fprintln(os.Stderr, "slow") // want `I/O call fmt.Fprintln on the Bus.Publish path`
+	b.o.mu.Lock()                   // want `foreign lock b.o acquired on the Bus.Publish path`
+	b.o.mu.Unlock()
+	select { // want `select without a default arm on the Bus.Publish path`
+	case b.ch <- ev: // want `blocking channel send on the Bus.Publish path`
+	case <-b.done: // want `blocking channel receive on the Bus.Publish path`
+	}
+}
+
+// Drain is NOT reachable from Publish: blocking here is fine.
+func (b *Bus) Drain() Event {
+	return <-b.ch
+}

@@ -1,0 +1,37 @@
+// Fixture: a producer package whose event hooks must be nil-safe. Imports
+// the REAL agentrec/internal/ops so the *ops.Bus field type matches what
+// the analyzer looks for.
+package platform
+
+import "agentrec/internal/ops"
+
+type Platform struct {
+	Events *ops.Bus
+}
+
+// guarded is the required shape: one nil test, then publish.
+func (p *Platform) guarded(ev ops.Event) {
+	if p.Events == nil {
+		return
+	}
+	p.Events.Publish(ev)
+}
+
+// guardedInline tests the other comparison direction.
+func (p *Platform) guardedInline(ev ops.Event) {
+	if nil != p.Events {
+		p.Events.Publish(ev)
+	}
+}
+
+// unguarded publishes without any nil check in the function.
+func (p *Platform) unguarded(ev ops.Event) {
+	p.Events.Publish(ev) // want `event hook p.Events.Publish called without a nil check`
+}
+
+// localBus is not a struct field: local variables are the caller's problem
+// (they were just constructed), so no diagnostic.
+func localBus(ev ops.Event) {
+	b := ops.NewBus()
+	b.Publish(ev)
+}

@@ -1,0 +1,9 @@
+package workload
+
+import "time"
+
+// wallClock sits outside the determinism file scope (only traffic.go is
+// byte-deterministic in this package): no diagnostic.
+func wallClock() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,52 @@
+// Fixture: a shadow of workload's deterministic traffic writer. traffic.go
+// is inside the determinism file scope for this package; other.go is not.
+package workload
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"sort"
+	"time"
+)
+
+// stampNow leaks the wall clock into the deterministic surface.
+func stampNow() int64 {
+	return time.Now().UnixNano() // want `time.Now in a byte-deterministic writer`
+}
+
+// pickGlobal draws from the process-global, unseeded source.
+func pickGlobal() int {
+	return rand.IntN(10) // want `global math/rand source`
+}
+
+// seeded builds an explicitly seeded generator: the sanctioned pattern.
+func seeded(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, 1))
+}
+
+// emitUnsorted serializes in map-iteration order: bytes diverge per run.
+func emitUnsorted(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `map iterated in randomized order while serializing`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// emitSorted collects, sorts, then writes: deterministic.
+func emitSorted(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// stampAllowed carries a justified suppression: the directive swallows the
+// diagnostic the line would otherwise raise.
+func stampAllowed() int64 {
+	//agentlint:allow determinism -- fixture: timestamp taken outside the serialized bytes
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,20 @@
+// Fixture: a shadow of kvstore.Store exercising errflow's accessor rule.
+package kvstore
+
+type Store struct{}
+
+func (s *Store) Put(k, v []byte) error { return nil }
+func (s *Store) Sync() error           { return nil }
+func (s *Store) Close() error          { return nil }
+func (s *Store) scanLocked() error     { return nil }
+
+func use(s *Store) error {
+	s.Put(nil, nil) // want `error result of kvstore Store.Put discarded`
+	_ = s.Put(nil, nil)
+	defer s.Close() // Close is exempt: deferred teardown discard is idiomatic
+	s.scanLocked()  // unexported: outside the accessor contract
+	if err := s.Sync(); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,25 @@
+// Fixture: a shadow of the ownership fence exercising errflow's Fence rule
+// and the write-API rule on an arbitrary Writer implementation.
+package recommend
+
+type OwnershipTable struct{}
+
+func (t *OwnershipTable) Fence(senderEpoch uint64, shard, self int) error { return nil }
+
+type routedWriter struct{}
+
+func (routedWriter) SetProfile(p int) error                { return nil }
+func (routedWriter) RecordPurchase(user, pid string) error { return nil }
+func (routedWriter) Describe() string                      { return "" } // no error result: never flagged
+
+func use(t *OwnershipTable, w routedWriter) {
+	t.Fence(1, 0, 0)              // want `error result of OwnershipTable.Fence discarded`
+	w.SetProfile(1)               // want `error result of routedWriter.SetProfile discarded`
+	go w.RecordPurchase("u", "p") // want `error result of routedWriter.RecordPurchase discarded`
+	w.Describe()
+	_ = w.SetProfile(2)
+	w.SetProfile(3) //agentlint:allow errflow -- fixture: justified suppression keeps the line quiet
+	if err := w.SetProfile(4); err != nil {
+		_ = err
+	}
+}

@@ -1,0 +1,78 @@
+// Fixture: a minimal shadow of internal/recommend exercising fencegate.
+// Type-checked under the real import path so the analyzer's receiver and
+// package matching fire exactly as on the repo.
+package recommend
+
+// Engine is the fenced resource; its write methods are the mutation
+// primitives below the fence.
+type Engine struct{}
+
+func (e *Engine) SetProfile(p int) error                { return nil }
+func (e *Engine) RecordPurchase(user, pid string) error { return nil }
+func (e *Engine) applyShardSnapshot(b []byte) error     { return nil }
+
+// OwnershipTable is the fence.
+type OwnershipTable struct{}
+
+func (t *OwnershipTable) Fence(epoch uint64, shard, self int) error { return nil }
+func (t *OwnershipTable) Expired() bool                             { return false }
+
+// Rebuild is an Engine method: exempt by design (below the fence).
+func (e *Engine) Rebuild(p int) {
+	_ = e.SetProfile(p) // no diagnostic: Engine receiver is exempt
+}
+
+// ApplyUnfenced is the violation shape: an exported surface mutating the
+// engine with no path to the fence.
+func ApplyUnfenced(e *Engine, p int) {
+	_ = e.SetProfile(p) // want `unfenced engine mutation in exported surface ApplyUnfenced`
+}
+
+// ApplyFenced consults the fence before mutating: compliant.
+func ApplyFenced(e *Engine, t *OwnershipTable, p int) error {
+	if err := t.Fence(1, 0, 0); err != nil {
+		return err
+	}
+	return e.SetProfile(p)
+}
+
+// ApplyViaExpired uses the read-side fence check (the Router pattern).
+func ApplyViaExpired(e *Engine, t *OwnershipTable, p int) error {
+	if t.Expired() {
+		return nil
+	}
+	return e.SetProfile(p)
+}
+
+// fencedHelper is a fence carrier: callers reach the fence through it.
+func fencedHelper(t *OwnershipTable) error { return t.Fence(1, 0, 0) }
+
+// ApplyViaHelper fences through one level of indirection: compliant.
+func ApplyViaHelper(e *Engine, t *OwnershipTable, p int) error {
+	if err := fencedHelper(t); err != nil {
+		return err
+	}
+	return e.SetProfile(p)
+}
+
+// Handler is the replnet shape: a factory whose fence closure guards the
+// handler closure it returns. The whole declaration is one surface.
+func Handler(e *Engine, t *OwnershipTable) func(p int) error {
+	fence := func() error { return t.Fence(1, 0, 0) }
+	return func(p int) error {
+		if err := fence(); err != nil {
+			return err
+		}
+		return e.SetProfile(p)
+	}
+}
+
+// BadHandler returns a mutating closure with no fence anywhere: violation.
+func BadHandler(e *Engine) func(p int) error {
+	return func(p int) error {
+		return e.SetProfile(p) // want `unfenced engine mutation in exported surface BadHandler`
+	}
+}
+
+// ReadOnly never mutates: no diagnostic regardless of fencing.
+func ReadOnly(e *Engine) *Engine { return e }

@@ -1,0 +1,83 @@
+// Fixture: a minimal shadow of internal/recommend's lock hierarchy
+// exercising lockorder. shard and sellShard are classified by type name,
+// matching the real engine.
+package recommend
+
+import (
+	"sync"
+
+	"agentrec/internal/kvstore"
+)
+
+type shard struct{ mu sync.RWMutex }
+
+type sellShard struct{ mu sync.RWMutex }
+
+// goodOrder is the engine's real discipline: shard first, release, then
+// sellShard.
+func goodOrder(sh *shard, ss *sellShard) {
+	sh.mu.Lock()
+	sh.mu.Unlock()
+	ss.mu.Lock()
+	ss.mu.Unlock()
+}
+
+// goodNestedSell acquires sellShard under shard: allowed (shard is outer).
+func goodNestedSell(sh *shard, ss *sellShard) {
+	sh.mu.Lock()
+	ss.mu.Lock()
+	ss.mu.Unlock()
+	sh.mu.Unlock()
+}
+
+// nestedShards is the deadlock shape: two shard locks held at once.
+func nestedShards(a, b *shard) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `shard lock b acquired while shard lock a is held`
+	b.mu.Unlock()
+}
+
+// inversion acquires a shard lock under a sellShard lock: order reversed.
+func inversion(sh *shard, ss *sellShard) {
+	ss.mu.Lock()
+	sh.mu.Lock() // want `lock order is shard before sellShard`
+	sh.mu.Unlock()
+	ss.mu.Unlock()
+}
+
+// unlockInBranchThenRelock: the early-unlock branch returns, so the
+// fall-through still holds the lock — but only one shard lock at a time.
+func unlockInBranchThenRelock(a *shard, stop bool) {
+	a.mu.Lock()
+	if stop {
+		a.mu.Unlock()
+		return
+	}
+	a.mu.Unlock()
+}
+
+// fsyncUnderLock holds a shard lock across a Store.Sync barrier.
+func fsyncUnderLock(sh *shard, st *kvstore.Store) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return st.Sync() // want `fsync barrier with unbounded latency`
+}
+
+// fsyncAfterUnlock releases before the barrier: compliant.
+func fsyncAfterUnlock(sh *shard, st *kvstore.Store) error {
+	sh.mu.Lock()
+	sh.mu.Unlock()
+	return st.Sync()
+}
+
+// goroutineStartsClean: a spawned goroutine inherits no locks, so its own
+// single shard acquisition is fine even while the parent holds another.
+func goroutineStartsClean(a, b *shard) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	go func() {
+		b.mu.Lock()
+		b.mu.Unlock()
+	}()
+}

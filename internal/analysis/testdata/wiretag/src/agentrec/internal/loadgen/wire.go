@@ -1,0 +1,35 @@
+// Fixture: a shadow of loadgen's recorded scenario documents exercising
+// wiretag's root closure, tag checks, and snake_case rule.
+package loadgen
+
+// Scenario is a wire root: fully tagged, compliant.
+type Scenario struct {
+	Name     string  `json:"name"`
+	RateOpsS float64 `json:"rate_ops_s"`
+	internal int
+}
+
+// ScenarioResult is a wire root mixing every violation shape.
+type ScenarioResult struct {
+	Good     int         `json:"good_total"`
+	Untagged int         // want `exported field Untagged has no json tag`
+	Camel    int         `json:"camelCase"`  // want `json name "camelCase" is not snake_case`
+	TagNoKey int         `yaml:"tag_no_key"` // want `struct tag but no json key`
+	Skipped  int         `json:"-"`
+	Nested   nestedStats `json:"nested"`
+}
+
+// nestedStats is unexported but reachable from a root: still wire shape.
+type nestedStats struct {
+	P50Ms float64 `json:"p50_ms"`
+	Deep  int     // want `exported field Deep has no json tag`
+}
+
+// orphan is not reachable from any root: not wire vocabulary.
+type orphan struct {
+	Whatever int
+}
+
+var _ = internalUse
+
+func internalUse(s Scenario, o orphan) int { return s.internal + o.Whatever }

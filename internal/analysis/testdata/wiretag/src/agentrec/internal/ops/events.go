@@ -1,0 +1,19 @@
+// Fixture: internal/ops is all wire vocabulary ("*" roots) — every
+// exported struct is checked unless its declaration carries a justified
+// wiretag allow.
+package ops
+
+// Event crosses the wire: checked.
+type Event struct {
+	Kind string `json:"kind"`
+	Seq  uint64 // want `exported field Seq has no json tag`
+}
+
+// SubscribeOptions is in-process config, excluded wholesale by the
+// declaration-level allow.
+//
+//agentlint:allow wiretag -- fixture: in-process subscription config, never serialized
+type SubscribeOptions struct {
+	Buffer   int
+	AfterSeq uint64
+}

@@ -156,11 +156,15 @@ func F45DiscardGate(w io.Writer, size Size) error {
 	for _, tol := range []float64{0.1, 0.3, 0.5, 0.7, 1.0} {
 		engine := recommend.NewEngine(u.Catalog, recommend.WithNeighbors(10), recommend.WithTolerance(tol))
 		for _, p := range profiles {
-			engine.SetProfile(p)
+			if err := engine.SetProfile(p); err != nil {
+				return err
+			}
 		}
 		for user, pids := range u.Purchases() {
 			for _, pid := range pids {
-				engine.RecordPurchase(user, pid)
+				if err := engine.RecordPurchase(user, pid); err != nil {
+					return err
+				}
 			}
 		}
 		var recLists, relLists [][]string
@@ -370,12 +374,16 @@ func C4SparsityColdStart(w io.Writer, size Size) error {
 			if err != nil {
 				return err
 			}
-			engine.SetProfile(p)
+			if err := engine.SetProfile(p); err != nil {
+				return err
+			}
 			events += len(usr.Train)
 		}
 		for user, pids := range u.Purchases() {
 			for _, pid := range pids {
-				engine.RecordPurchase(user, pid)
+				if err := engine.RecordPurchase(user, pid); err != nil {
+					return err
+				}
 			}
 		}
 		density := 100 * float64(events) / float64(len(u.Users)*len(u.Products))
@@ -439,17 +447,21 @@ func C5StrategyQuality(w io.Writer, size Size) error {
 	}
 	purchases := u.Purchases()
 
-	build := func(opts ...recommend.Option) *recommend.Engine {
+	build := func(opts ...recommend.Option) (*recommend.Engine, error) {
 		e := recommend.NewEngine(u.Catalog, opts...)
 		for _, p := range profiles {
-			e.SetProfile(p)
+			if err := e.SetProfile(p); err != nil {
+				return nil, err
+			}
 		}
 		for user, pids := range purchases {
 			for _, pid := range pids {
-				e.RecordPurchase(user, pid)
+				if err := e.RecordPurchase(user, pid); err != nil {
+					return nil, err
+				}
 			}
 		}
-		return e
+		return e, nil
 	}
 	measure := func(e *recommend.Engine, strategy recommend.Strategy) (eval.Metrics, error) {
 		var recLists, relLists [][]string
@@ -466,7 +478,10 @@ func C5StrategyQuality(w io.Writer, size Size) error {
 
 	main := eval.NewTable("C5 — technique comparison (k=10, hybrid weight 0.6, top-10)",
 		"strategy", "precision", "recall", "f1", "coverage", "distinct_items")
-	e := build(recommend.WithNeighbors(10))
+	e, err := build(recommend.WithNeighbors(10))
+	if err != nil {
+		return err
+	}
 	for _, s := range []recommend.Strategy{
 		recommend.StrategyCF, recommend.StrategyIF, recommend.StrategyHybrid, recommend.StrategyTopSeller,
 	} {
@@ -484,7 +499,11 @@ func C5StrategyQuality(w io.Writer, size Size) error {
 	mix := eval.NewTable("C5a — hybrid weight ablation (CF share)",
 		"cf_share", "precision", "recall")
 	for _, wgt := range []float64{0, 0.25, 0.5, 0.6, 0.75, 1} {
-		m, err := measure(build(recommend.WithNeighbors(10), recommend.WithHybridWeight(wgt)), recommend.StrategyHybrid)
+		weighted, err := build(recommend.WithNeighbors(10), recommend.WithHybridWeight(wgt))
+		if err != nil {
+			return err
+		}
+		m, err := measure(weighted, recommend.StrategyHybrid)
 		if err != nil {
 			return err
 		}
@@ -502,7 +521,11 @@ func C5StrategyQuality(w io.Writer, size Size) error {
 		ks = []int{2, 10}
 	}
 	for _, k := range ks {
-		m, err := measure(build(recommend.WithNeighbors(k)), recommend.StrategyCF)
+		sized, err := build(recommend.WithNeighbors(k))
+		if err != nil {
+			return err
+		}
+		m, err := measure(sized, recommend.StrategyCF)
 		if err != nil {
 			return err
 		}

@@ -108,6 +108,8 @@ func (b *Bus) LastSeq() uint64 {
 }
 
 // SubscribeOptions configures a Subscription.
+//
+//agentlint:allow wiretag -- in-process subscription config, never serialized; the SSE handler derives it from query params
 type SubscribeOptions struct {
 	// Kinds restricts delivery to the listed kinds; empty means all.
 	// Synthetic drop markers are always delivered.

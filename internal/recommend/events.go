@@ -48,8 +48,11 @@ func (e *Engine) publishJournal(shard int, seq uint64, op string, records, paylo
 }
 
 // publishCompaction emits one KindCompaction event for a completed
-// CompactState pass. Caller guarantees e.events != nil.
+// CompactState pass. No-op without a bus.
 func (e *Engine) publishCompaction(elapsed time.Duration, before, after JournalStats) {
+	if e.events == nil {
+		return
+	}
 	e.events.Publish(ops.Event{Kind: ops.KindCompaction, Compaction: ops.CompactionEvent{
 		Server:         e.eventServer,
 		Compactions:    e.compactions.Load(),
@@ -69,8 +72,11 @@ const maxDeltaKeys = 1 << 16
 // publishRecDelta compares the served top-N against the previous answer for
 // the same (user, category, strategy) and publishes a KindRecDelta event
 // when it changed. The first non-empty answer for a key counts as a change
-// from nothing (everything entered). Caller guarantees e.events != nil.
+// from nothing (everything entered). No-op without a bus.
 func (e *Engine) publishRecDelta(strategy Strategy, userID, category string, recs []Rec, latency time.Duration) {
+	if e.events == nil {
+		return
+	}
 	top := make([]string, len(recs))
 	for i, r := range recs {
 		top[i] = r.ProductID
